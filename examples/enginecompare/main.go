@@ -1,0 +1,51 @@
+// Enginecompare runs the same maintenance workload through all four engines
+// — Parallel-Order, Sequential-Order, Traversal, and the join-edge-set
+// baseline — and prints their timings side by side: a miniature of the
+// paper's Fig. 4 on a single graph.
+//
+//	go run ./examples/enginecompare
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/gen"
+	"repro/kcore"
+)
+
+func main() {
+	const (
+		vertices = 10000
+		batch    = 3000
+		workers  = 8
+	)
+	base := gen.RMAT(14, 4*vertices, 21)
+	removeBatch := gen.SampleEdges(base, batch, 22)
+	withoutBatch := base.Clone()
+	for _, e := range removeBatch {
+		withoutBatch.RemoveEdge(e.U, e.V)
+	}
+	fmt.Printf("graph: n=%d m=%d, batch=%d edges, %d workers for parallel engines\n\n",
+		base.N(), base.M(), batch, workers)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "engine\tinsert\tremove\tverified")
+	for _, alg := range []kcore.Algorithm{
+		kcore.ParallelOrder, kcore.SequentialOrder, kcore.Traversal, kcore.JoinEdgeSet,
+	} {
+		mi := kcore.New(withoutBatch.Clone(), kcore.WithAlgorithm(alg), kcore.WithWorkers(workers))
+		ins := mi.InsertEdges(removeBatch)
+		mr := kcore.New(base.Clone(), kcore.WithAlgorithm(alg), kcore.WithWorkers(workers))
+		rem := mr.RemoveEdges(removeBatch)
+		ok := "yes"
+		if mi.Check() != nil || mr.Check() != nil {
+			ok = "NO"
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%v\t%s\n", alg, ins.Duration, rem.Duration, ok)
+	}
+	tw.Flush()
+	fmt.Println("\n(On a single-CPU machine parallel engines show overhead, not speedup;")
+	fmt.Println(" the algorithmic contrast Order-vs-Traversal is visible regardless.)")
+}

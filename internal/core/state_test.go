@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+func TestNewStateInitialDout(t *testing.T) {
+	// Path 0-1-2-3: BZ peels endpoints first; every vertex's dout must
+	// equal its count of later neighbors and be <= its core (1).
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	st := NewState(g)
+	for v := int32(0); v < 4; v++ {
+		if d := st.Dout[v].Load(); d > st.CoreOf(v) {
+			t.Fatalf("dout[%d] = %d > core %d", v, d, st.CoreOf(v))
+		}
+	}
+	mustCheck(t, st, "path init")
+}
+
+func TestBeforeSeqConsistentWithCores(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle: core 2
+		{U: 3, V: 4}, // edge: core 1
+	})
+	st := NewState(g)
+	// Lower core always precedes higher core.
+	for _, lo := range []int32{3, 4} {
+		for _, hi := range []int32{0, 1, 2} {
+			if !st.BeforeSeq(lo, hi) || st.BeforeSeq(hi, lo) {
+				t.Fatalf("core-1 vertex %d must precede core-2 vertex %d", lo, hi)
+			}
+		}
+	}
+	// Irreflexive and antisymmetric within one level.
+	if st.BeforeSeq(0, 0) {
+		t.Fatal("BeforeSeq must be irreflexive")
+	}
+	if st.BeforeSeq(0, 1) == st.BeforeSeq(1, 0) {
+		t.Fatal("BeforeSeq must be antisymmetric")
+	}
+}
+
+func TestBeforeMatchesBeforeSeqAtQuiescence(t *testing.T) {
+	g := gen.ErdosRenyi(100, 300, 9)
+	st := NewState(g)
+	for u := int32(0); u < 100; u += 7 {
+		for v := int32(1); v < 100; v += 11 {
+			if u == v {
+				continue
+			}
+			if st.Before(u, v) != st.BeforeSeq(u, v) {
+				t.Fatalf("Before and BeforeSeq disagree on (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+// Before must wait out an odd order-change status rather than return a
+// half-updated comparison.
+func TestBeforeWaitsForOrderChange(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	st := NewState(g)
+	st.BeginOrderChange(0)
+	done := make(chan bool, 1)
+	go func() {
+		done <- st.Before(0, 2) // must block until the change ends
+	}()
+	select {
+	case <-done:
+		t.Fatal("Before returned while the order change was in flight")
+	default:
+	}
+	st.EndOrderChange(0)
+	<-done // must complete now
+}
+
+func TestListGrowth(t *testing.T) {
+	st := NewState(graph.New(2))
+	if st.MaxCoreValue() != 0 {
+		t.Fatalf("initial max core value %d", st.MaxCoreValue())
+	}
+	l5 := st.List(5)
+	if l5 == nil || st.MaxCoreValue() != 5 {
+		t.Fatalf("growth failed: max=%d", st.MaxCoreValue())
+	}
+	if st.List(3) == nil || st.List(5) != l5 {
+		t.Fatal("grown lists must be stable")
+	}
+}
+
+func TestListGrowthConcurrent(t *testing.T) {
+	st := NewState(graph.New(2))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := int32(0); k < 64; k++ {
+				if st.List(k) == nil {
+					panic("nil list")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if st.MaxCoreValue() < 63 {
+		t.Fatalf("max core value %d", st.MaxCoreValue())
+	}
+}
+
+func TestComputeMCDDefinition(t *testing.T) {
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle: cores 2
+		{U: 0, V: 3}, {U: 3, V: 4}, // tail: cores 1
+	})
+	st := NewState(g)
+	// Vertex 0 (core 2): neighbors 1,2 (core 2 >= 2) and 3 (core 1): mcd 2.
+	if got := st.ComputeMCD(0); got != 2 {
+		t.Fatalf("mcd(0) = %d, want 2", got)
+	}
+	// Vertex 3 (core 1): neighbors 0 (core 2) and 4 (core 1): mcd 2.
+	if got := st.ComputeMCD(3); got != 2 {
+		t.Fatalf("mcd(3) = %d, want 2", got)
+	}
+	// In-flight rule: a neighbor mid-drop (core = cu-1, t > 0) counts.
+	st.T[1].Store(2)
+	st.Core[1].Store(1)
+	if got := st.ComputeMCD(0); got != 2 {
+		t.Fatalf("mcd(0) with in-flight neighbor = %d, want 2", got)
+	}
+	st.T[1].Store(0)
+	if got := st.ComputeMCD(0); got != 1 {
+		t.Fatalf("mcd(0) after neighbor settled = %d, want 1", got)
+	}
+}
+
+func TestRecomputeDout(t *testing.T) {
+	g := gen.ErdosRenyi(80, 240, 5)
+	st := NewState(g)
+	for v := int32(0); v < 80; v++ {
+		want := st.Dout[v].Load()
+		st.Dout[v].Store(-99)
+		st.RecomputeDout(v)
+		if got := st.Dout[v].Load(); got != want {
+			t.Fatalf("RecomputeDout(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestInvalidateMcd(t *testing.T) {
+	st := NewState(graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}))
+	st.Mcd[0].Store(1)
+	st.InvalidateMcd(0)
+	if st.Mcd[0].Load() != McdEmpty {
+		t.Fatal("InvalidateMcd must store the empty sentinel")
+	}
+}
+
+func TestCoreNumbersSnapshot(t *testing.T) {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	st := NewState(g)
+	snap := st.CoreNumbers()
+	st.Core[0].Store(99)
+	if snap[0] == 99 {
+		t.Fatal("CoreNumbers must be a snapshot, not a view")
+	}
+}

@@ -1,0 +1,164 @@
+package expr
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyConfig(buf *bytes.Buffer) Config {
+	cfg := DefaultConfig(buf)
+	cfg.Workers = []int{1, 2}
+	cfg.Repeats = 1
+	return cfg
+}
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite(ScaleCI, 1)
+	if len(suite) != 16 {
+		t.Fatalf("suite has %d graphs, want 16 (Table 2)", len(suite))
+	}
+	names := map[string]bool{}
+	temporal := 0
+	for _, sg := range suite {
+		if names[sg.Name] {
+			t.Fatalf("duplicate suite name %s", sg.Name)
+		}
+		names[sg.Name] = true
+		if sg.Temporal {
+			temporal++
+		}
+		g := sg.Build()
+		if g.N() == 0 || g.M() == 0 {
+			t.Fatalf("%s: empty graph", sg.Name)
+		}
+		if err := g.CheckConsistent(); err != nil {
+			t.Fatalf("%s: %v", sg.Name, err)
+		}
+	}
+	if temporal != 4 {
+		t.Fatalf("%d temporal graphs, want 4", temporal)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a := Suite(ScaleCI, 7)[0].Build()
+	b := Suite(ScaleCI, 7)[0].Build()
+	if a.N() != b.N() || a.M() != b.M() {
+		t.Fatal("same seed must produce the same graph")
+	}
+	ea, eb := a.Edges(), b.Edges()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("same seed must produce identical edges")
+		}
+	}
+}
+
+func TestSuiteByName(t *testing.T) {
+	got, err := SuiteByName(ScaleCI, 1, "BA", "ER")
+	if err != nil || len(got) != 2 || got[0].Name != "BA" || got[1].Name != "ER" {
+		t.Fatalf("SuiteByName: %v %v", got, err)
+	}
+	if _, err := SuiteByName(ScaleCI, 1, "nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	suite := Suite(ScaleCI, 1)
+	for _, sg := range []SuiteGraph{suite[0], suite[12]} { // one static, one temporal
+		w := BuildWorkload(sg, 200, 5)
+		if len(w.Batch) != 200 {
+			t.Fatalf("%s: batch %d", sg.Name, len(w.Batch))
+		}
+		for _, e := range w.Batch {
+			if !w.Base.HasEdge(e.U, e.V) {
+				t.Fatalf("%s: batch edge %v not in base", sg.Name, e)
+			}
+		}
+		without := w.WithoutBatch()
+		if without.M() != w.Base.M()-int64(len(w.Batch)) {
+			t.Fatalf("%s: WithoutBatch m=%d", sg.Name, without.M())
+		}
+	}
+}
+
+func TestRunTable2Output(t *testing.T) {
+	var buf bytes.Buffer
+	RunTable2(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{"livej", "BA", "RMAT", "Max k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFig1Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	RunFig1(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "0-10") || !strings.Contains(out, "paper claim") {
+		t.Fatalf("Fig. 1 output malformed:\n%s", out)
+	}
+}
+
+func TestRunFig4AndTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	points := RunFig4(cfg)
+	want := 16 * len(cfg.Workers) * 4
+	if len(points) != want {
+		t.Fatalf("fig4 points = %d, want %d", len(points), want)
+	}
+	buf.Reset()
+	RunTable3(cfg, points)
+	if !strings.Contains(buf.String(), "OurI/JEI") {
+		t.Fatalf("Table 3 output malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunFig5Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	RunFig5(tinyConfig(&buf))
+	out := buf.String()
+	for _, want := range []string{"livej", "roadNet-CA", "10x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Fig. 5 output missing %q", want)
+		}
+	}
+}
+
+func TestRunFig6Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	RunFig6(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "spread") {
+		t.Fatalf("Fig. 6 output missing spread summary:\n%s", out)
+	}
+}
+
+func TestRunContentionOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test")
+	}
+	var buf bytes.Buffer
+	RunContention(tinyConfig(&buf))
+	out := buf.String()
+	if !strings.Contains(out, "aborts/edge") || !strings.Contains(out, "BA") {
+		t.Fatalf("contention output malformed:\n%s", out)
+	}
+}

@@ -1,0 +1,139 @@
+package jes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/traversal"
+)
+
+func TestInsertBatchCorrect(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		base := gen.ErdosRenyi(200, 600, int64(workers))
+		batch := gen.SampleNonEdges(base, 120, int64(workers)+5)
+		st := traversal.NewState(base.Clone())
+		s := InsertEdges(st, batch, workers)
+		if s.Applied != len(batch) {
+			t.Fatalf("%d workers: applied %d of %d", workers, s.Applied, len(batch))
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+	}
+}
+
+func TestRemoveBatchCorrect(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		base := gen.ErdosRenyi(200, 800, int64(workers)+50)
+		batch := gen.SampleEdges(base, 150, int64(workers)+60)
+		st := traversal.NewState(base.Clone())
+		s := RemoveEdges(st, batch, workers)
+		if s.Applied != len(batch) {
+			t.Fatalf("%d workers: applied %d of %d", workers, s.Applied, len(batch))
+		}
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+	}
+}
+
+// The headline property the paper exploits: on a single-core-value graph
+// (BA), the join-edge-set baseline has exactly one group per round — no
+// parallelism — regardless of the worker count.
+func TestParallelismCollapsesOnSingleCoreValue(t *testing.T) {
+	base := gen.BarabasiAlbert(400, 4, 7)
+	st := traversal.NewState(base.Clone())
+	// Verify the premise: one dominant core value among sampled edges.
+	batch := gen.SampleEdges(base, 200, 8)
+	s := RemoveEdges(st, batch, 16)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxGroups > 2 {
+		t.Fatalf("BA removal scheduled %d concurrent groups; expected parallelism collapse", s.MaxGroups)
+	}
+}
+
+func TestMultiLevelGraphGetsParallelGroups(t *testing.T) {
+	// RMAT has a wide core spectrum: expect >= 2 concurrent groups.
+	base := gen.RMAT(10, 6000, 9)
+	st := traversal.NewState(base.Clone())
+	batch := gen.SampleEdges(base, 400, 10)
+	s := RemoveEdges(st, batch, 16)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxGroups < 2 {
+		t.Fatalf("RMAT removal scheduled only %d group(s)", s.MaxGroups)
+	}
+}
+
+func TestInsertRemoveRoundTrip(t *testing.T) {
+	base := gen.PowerLawCluster(250, 6, 2.5, 11)
+	batch := gen.SampleNonEdges(base, 150, 12)
+	st := traversal.NewState(base.Clone())
+	InsertEdges(st, batch, 8)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("after insert: %v", err)
+	}
+	RemoveEdges(st, batch, 8)
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatalf("after remove: %v", err)
+	}
+	want := traversal.NewState(base)
+	for v := int32(0); v < int32(base.N()); v++ {
+		if st.CoreOf(v) != want.CoreOf(v) {
+			t.Fatalf("core[%d] drifted after round trip", v)
+		}
+	}
+}
+
+func TestDuplicatesInBatch(t *testing.T) {
+	base := gen.ErdosRenyi(80, 160, 13)
+	fresh := gen.SampleNonEdges(base, 25, 14)
+	batch := append(append([]graph.Edge{}, fresh...), fresh...)
+	st := traversal.NewState(base.Clone())
+	s := InsertEdges(st, batch, 4)
+	if s.Applied != len(fresh) {
+		t.Fatalf("applied %d, want %d", s.Applied, len(fresh))
+	}
+	if err := st.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	st := traversal.NewState(gen.ErdosRenyi(30, 60, 1))
+	if s := InsertEdges(st, nil, 4); s.Applied != 0 || s.Rounds != 0 {
+		t.Fatalf("empty insert: %+v", s)
+	}
+	if s := RemoveEdges(st, nil, 4); s.Applied != 0 {
+		t.Fatalf("empty remove: %+v", s)
+	}
+}
+
+// Property: JES batches end in BZ ground truth across random graphs,
+// batch sizes and worker counts.
+func TestQuickJESMaintenance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 40 + rng.Intn(80)
+		base := gen.ErdosRenyi(n, int64(3*n), seed)
+		st := traversal.NewState(base.Clone())
+		ins := gen.SampleNonEdges(base, 30, seed+1)
+		InsertEdges(st, ins, 1+rng.Intn(8))
+		if st.CheckInvariants() != nil {
+			return false
+		}
+		rem := gen.SampleEdges(st.G, 30, seed+2)
+		RemoveEdges(st, rem, 1+rng.Intn(8))
+		return st.CheckInvariants() == nil
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

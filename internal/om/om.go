@@ -1,0 +1,479 @@
+// Package om implements the two-level Order-Maintenance (OM) data structure
+// of Dietz–Sleator / Bender et al. used by the Simplified-Order and
+// Parallel-Order core maintenance algorithms (paper §3.4, [26], [37-39]).
+//
+// A List maintains a total order of items under three operations:
+//
+//   - Order(x, y): does x precede y? O(1), lock-free.
+//   - InsertAfter(x, y): insert y right after x. Amortized O(1), locked.
+//   - Delete(x): remove x. O(1), locked.
+//
+// Items are stored in bottom-level groups; groups form the top-level list.
+// Every item carries a bottom label (its position inside its group) and every
+// group carries a top label. x precedes y iff (Lt(x), Lb(x)) < (Lt(y), Lb(y))
+// lexicographically. When an insertion finds no label space, a relabel is
+// triggered: a full group splits in two, and when there is no top-label gap
+// for the new group, successor group labels are rebalanced with the j²
+// threshold walk described in the paper.
+//
+// Concurrency contract (matching the parallel OM of [26] at the granularity
+// discussed in DESIGN.md): structural operations (InsertAfter, Delete, and
+// the relabels they trigger) serialize on a per-list mutex; Order is
+// lock-free and validates its label reads against a seqlock-style version
+// counter that relabels bump (odd while a relabel is in flight). Callers that
+// move an item between lists must prevent concurrent Order calls on that item
+// via their own protocol — the core maintenance algorithms do this with the
+// per-vertex status counter s (Algorithm 6).
+package om
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// labelSpan bounds both top (group) and bottom (item) labels. Labels
+	// live in [0, labelSpan); midpoint insertion never overflows uint64.
+	labelSpan uint64 = 1 << 62
+
+	// DefaultGroupCap is the default maximum number of items per group.
+	// The paper sizes groups at Θ(log N); 48 covers N well beyond 10^9
+	// while keeping splits cheap.
+	DefaultGroupCap = 48
+)
+
+// Item is an element of a List. A zero-value Item is free (in no list).
+// The same Item is intended to be reused as its payload moves between
+// k-order lists: Delete from one list, InsertAfter into another.
+type Item struct {
+	// ID is an opaque payload identifier (the vertex id in core
+	// maintenance). Sentinels use -1.
+	ID int32
+
+	prev, next *Item
+	group      atomic.Pointer[group]
+	label      atomic.Uint64
+}
+
+// InList reports whether the item is currently linked into a list.
+func (it *Item) InList() bool { return it.group.Load() != nil }
+
+type group struct {
+	label      atomic.Uint64
+	prev, next *group
+	first      *Item // first item of the group in list order
+	count      int
+}
+
+// List is an order-maintenance list. Use NewList to create one.
+type List struct {
+	mu       sync.Mutex
+	ver      atomic.Uint64 // seqlock: odd while a relabel is in progress
+	sentinel Item          // immortal first item, anchors the head group
+	last     *Item         // last item in list order (the sentinel if empty)
+	groupCap int
+	size     int // number of user items (sentinel excluded)
+	relabels uint64
+}
+
+// NewList returns an empty list whose groups hold at most groupCap items;
+// groupCap <= 0 selects DefaultGroupCap.
+func NewList(groupCap int) *List {
+	if groupCap <= 0 {
+		groupCap = DefaultGroupCap
+	}
+	if groupCap < 4 {
+		groupCap = 4
+	}
+	l := &List{groupCap: groupCap}
+	g := &group{count: 1}
+	g.first = &l.sentinel
+	l.sentinel.ID = -1
+	l.sentinel.group.Store(g)
+	l.last = &l.sentinel
+	return l
+}
+
+// Len returns the number of items in the list (sentinel excluded).
+func (l *List) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Sentinel returns the immortal anchor item that precedes every user item.
+// Use it with InsertAfter to insert at the head of the list.
+func (l *List) Sentinel() *Item { return &l.sentinel }
+
+// Version returns the current relabel version. Odd values mean a relabel is
+// in progress. The versioned priority queue of Algorithm 9 uses this to keep
+// cached labels coherent.
+func (l *List) Version() uint64 { return l.ver.Load() }
+
+// Relabels returns the number of relabel events (splits and rebalances) the
+// list has performed; exposed for tests and ablation benchmarks.
+func (l *List) Relabels() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.relabels
+}
+
+// Order reports whether x precedes y in the list. x and y must both be
+// linked into this list for the duration of the call (enforced by the
+// caller's status protocol). Order is lock-free: it validates label reads
+// against the relabel version and retries on interference.
+func (l *List) Order(x, y *Item) bool {
+	if x == y {
+		return false
+	}
+	for {
+		v := l.ver.Load()
+		if v&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		gx := x.group.Load()
+		gy := y.group.Load()
+		if gx == nil || gy == nil {
+			// The item is mid-move between lists; wait for the
+			// caller protocol to finish reinserting it.
+			runtime.Gosched()
+			continue
+		}
+		var r bool
+		if gx == gy {
+			r = x.label.Load() < y.label.Load()
+		} else {
+			r = gx.label.Load() < gy.label.Load()
+		}
+		if l.ver.Load() == v {
+			return r
+		}
+	}
+}
+
+// Labels returns a snapshot (top label, bottom label) of x plus the list
+// version the snapshot was taken at. ok is false when the snapshot raced
+// with a relabel or the item is not in a list; callers should retry or mark
+// their cache dirty (Algorithm 10).
+func (l *List) Labels(x *Item) (lt, lb, ver uint64, ok bool) {
+	v := l.ver.Load()
+	if v&1 == 1 {
+		return 0, 0, v, false
+	}
+	g := x.group.Load()
+	if g == nil {
+		return 0, 0, v, false
+	}
+	lt = g.label.Load()
+	lb = x.label.Load()
+	if l.ver.Load() != v {
+		return 0, 0, v, false
+	}
+	return lt, lb, v, true
+}
+
+// InsertAfter inserts the free item y immediately after x, which must be in
+// this list (the sentinel is allowed). Amortized O(1); may trigger a split
+// and a top-label rebalance.
+func (l *List) InsertAfter(x, y *Item) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.insertAfterLocked(x, y)
+}
+
+func (l *List) insertAfterLocked(x, y *Item) {
+	if y.group.Load() != nil {
+		panic("om: InsertAfter of item already in a list")
+	}
+	g := x.group.Load()
+	if g == nil {
+		panic("om: InsertAfter anchor not in a list")
+	}
+	if g.count >= l.groupCap {
+		l.split(g)
+		g = x.group.Load()
+	}
+	// Bottom-label space between x and its successor within the group.
+	bound := labelSpan
+	if x.next != nil && x.next.group.Load() == g {
+		bound = x.next.label.Load()
+	}
+	if bound-x.label.Load() < 2 {
+		l.renumberGroup(g)
+		if x.next != nil && x.next.group.Load() == g {
+			bound = x.next.label.Load()
+		} else {
+			bound = labelSpan
+		}
+	}
+	xl := x.label.Load()
+	y.label.Store(xl + (bound-xl)/2)
+	y.group.Store(g)
+	y.prev = x
+	y.next = x.next
+	if x.next != nil {
+		x.next.prev = y
+	}
+	x.next = y
+	if l.last == x {
+		l.last = y
+	}
+	g.count++
+	l.size++
+}
+
+// InsertAtHead inserts y as the first user item of the list.
+func (l *List) InsertAtHead(y *Item) { l.InsertAfter(&l.sentinel, y) }
+
+// InsertAtTail appends y as the last item of the list.
+func (l *List) InsertAtTail(y *Item) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.insertAfterLocked(l.last, y)
+}
+
+// Delete unlinks x from the list. x becomes free and may be reinserted into
+// any list. O(1). Deleting the sentinel panics.
+func (l *List) Delete(x *Item) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if x == &l.sentinel {
+		panic("om: Delete of sentinel")
+	}
+	g := x.group.Load()
+	if g == nil {
+		panic("om: Delete of item not in a list")
+	}
+	if g.first == x {
+		if x.next != nil && x.next.group.Load() == g {
+			g.first = x.next
+		} else {
+			g.first = nil
+		}
+	}
+	x.prev.next = x.next
+	if x.next != nil {
+		x.next.prev = x.prev
+	}
+	if l.last == x {
+		l.last = x.prev
+	}
+	g.count--
+	if g.count == 0 {
+		// Unlink the now-empty group (the head group always retains
+		// the sentinel, so g has a predecessor).
+		g.prev.next = g.next
+		if g.next != nil {
+			g.next.prev = g.prev
+		}
+	}
+	x.prev, x.next = nil, nil
+	x.group.Store(nil)
+	l.size--
+}
+
+// split divides the full group g in two, moving its upper half into a fresh
+// group inserted right after g, then renumbers bottom labels of both halves.
+// Caller holds l.mu.
+func (l *List) split(g *group) {
+	l.ver.Add(1) // seqlock: enter relabel
+	defer l.ver.Add(1)
+	l.relabels++
+
+	// Ensure top-label space after g. The local j²-walk rebalance makes
+	// room in the common case; when g sits at the very top of the label
+	// space (repeated tail splits halve the headroom until it is gone,
+	// and the walk finds no successors to spread) fall back to an even
+	// renumbering of every group.
+	bound := labelSpan
+	if g.next != nil {
+		bound = g.next.label.Load()
+	}
+	if bound-g.label.Load() < 2 {
+		l.rebalance(g)
+		if g.next != nil {
+			bound = g.next.label.Load()
+		} else {
+			bound = labelSpan
+		}
+		if bound-g.label.Load() < 2 {
+			l.renumberAllGroups()
+			if g.next != nil {
+				bound = g.next.label.Load()
+			} else {
+				bound = labelSpan
+			}
+		}
+	}
+	gl := g.label.Load()
+	ng := &group{}
+	ng.label.Store(gl + (bound-gl)/2)
+	ng.prev = g
+	ng.next = g.next
+	if g.next != nil {
+		g.next.prev = ng
+	}
+	g.next = ng
+
+	// Move the upper half of g's items into ng.
+	keep := g.count / 2
+	if keep < 1 {
+		keep = 1
+	}
+	it := g.first
+	for i := 1; i < keep; i++ {
+		it = it.next
+	}
+	moved := g.count - keep
+	first := it.next
+	ng.first = first
+	ng.count = moved
+	g.count = keep
+	for m, i := first, 0; i < moved; m, i = m.next, i+1 {
+		m.group.Store(ng)
+	}
+	l.renumberGroupLocked(g)
+	l.renumberGroupLocked(ng)
+}
+
+// renumberGroup evenly redistributes the bottom labels of g's items. Caller
+// holds l.mu; wraps the seqlock for callers outside a relabel.
+func (l *List) renumberGroup(g *group) {
+	l.ver.Add(1)
+	defer l.ver.Add(1)
+	l.relabels++
+	l.renumberGroupLocked(g)
+}
+
+func (l *List) renumberGroupLocked(g *group) {
+	if g.count == 0 {
+		return
+	}
+	gap := labelSpan / uint64(g.count+1)
+	lb := gap
+	// The sentinel must keep the smallest label in its group; even
+	// distribution starting at `gap` preserves relative order, and the
+	// sentinel, being first, receives the smallest label anyway.
+	for it, i := g.first, 0; i < g.count; it, i = it.next, i+1 {
+		it.label.Store(lb)
+		lb += gap
+	}
+}
+
+// rebalance makes top-label room after g using the paper's walk: traverse
+// successors g' until L(g') − L(g) > j² (j groups walked), then spread the
+// walked groups' labels evenly in the opened range. Caller holds l.mu and
+// the seqlock is already odd.
+func (l *List) rebalance(g *group) {
+	base := g.label.Load()
+	var walked []*group
+	cur := g.next
+	bound := labelSpan
+	for cur != nil {
+		j := uint64(len(walked) + 1)
+		if cur.label.Load()-base > j*j {
+			bound = cur.label.Load()
+			break
+		}
+		walked = append(walked, cur)
+		cur = cur.next
+	}
+	if len(walked) == 0 {
+		// Immediate successor already has a j²-sized gap; nothing to
+		// move (the caller re-reads labels).
+		return
+	}
+	gap := (bound - base) / uint64(len(walked)+1)
+	if gap < 2 {
+		// Label space after g is exhausted locally; renumber every
+		// group evenly across the whole span. Rare fallback.
+		l.renumberAllGroups()
+		return
+	}
+	lb := base + gap
+	for _, w := range walked {
+		w.label.Store(lb)
+		lb += gap
+	}
+}
+
+// renumberAllGroups redistributes all group labels evenly across the label
+// span. O(#groups); only reached when local rebalancing has no room.
+func (l *List) renumberAllGroups() {
+	n := 0
+	head := l.sentinel.group.Load()
+	for g := head; g != nil; g = g.next {
+		n++
+	}
+	gap := labelSpan / uint64(n+1)
+	lb := uint64(0)
+	for g := head; g != nil; g = g.next {
+		g.label.Store(lb)
+		lb += gap
+	}
+}
+
+// Check validates every structural invariant of the list and returns the
+// items in order (sentinel excluded). For tests.
+func (l *List) Check() ([]*Item, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	head := l.sentinel.group.Load()
+	if head == nil || head.first != &l.sentinel {
+		return nil, fmt.Errorf("om: head group does not anchor sentinel")
+	}
+	var items []*Item
+	seenItems := 0
+	var prevGroupLabel uint64
+	firstGroup := true
+	var lastItem *Item
+	for g := head; g != nil; g = g.next {
+		if !firstGroup && g.label.Load() <= prevGroupLabel {
+			return nil, fmt.Errorf("om: group labels not increasing (%d after %d)", g.label.Load(), prevGroupLabel)
+		}
+		firstGroup = false
+		prevGroupLabel = g.label.Load()
+		if g.count <= 0 {
+			return nil, fmt.Errorf("om: empty group linked in list")
+		}
+		if g.next != nil && g.next.prev != g {
+			return nil, fmt.Errorf("om: broken group back-link")
+		}
+		it := g.first
+		var prevLabel uint64
+		for i := 0; i < g.count; i++ {
+			if it == nil {
+				return nil, fmt.Errorf("om: group count exceeds items")
+			}
+			if it.group.Load() != g {
+				return nil, fmt.Errorf("om: item %d has wrong group pointer", it.ID)
+			}
+			if i > 0 && it.label.Load() <= prevLabel {
+				return nil, fmt.Errorf("om: bottom labels not increasing at item %d", it.ID)
+			}
+			prevLabel = it.label.Load()
+			if it != &l.sentinel {
+				items = append(items, it)
+			}
+			seenItems++
+			lastItem = it
+			if it.next != nil && it.next.prev != it {
+				return nil, fmt.Errorf("om: broken item back-link at %d", it.ID)
+			}
+			it = it.next
+		}
+		if it != nil && it.group.Load() == g {
+			return nil, fmt.Errorf("om: group count smaller than items")
+		}
+	}
+	if seenItems != l.size+1 {
+		return nil, fmt.Errorf("om: size %d does not match walked %d", l.size, seenItems-1)
+	}
+	if l.last != lastItem {
+		return nil, fmt.Errorf("om: stale last pointer")
+	}
+	return items, nil
+}

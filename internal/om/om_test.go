@@ -1,0 +1,542 @@
+package om
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func newItem(id int32) *Item { return &Item{ID: id} }
+
+func TestEmptyList(t *testing.T) {
+	l := NewList(0)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", l.Len())
+	}
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAfterSentinelOrders(t *testing.T) {
+	l := NewList(0)
+	a, b, c := newItem(0), newItem(1), newItem(2)
+	l.InsertAtHead(a)   // a
+	l.InsertAfter(a, c) // a c
+	l.InsertAfter(a, b) // a b c
+	for _, tc := range []struct {
+		x, y *Item
+		want bool
+	}{
+		{a, b, true}, {b, c, true}, {a, c, true},
+		{b, a, false}, {c, b, false}, {c, a, false},
+		{a, a, false},
+	} {
+		if got := l.Order(tc.x, tc.y); got != tc.want {
+			t.Fatalf("Order(%d,%d) = %v, want %v", tc.x.ID, tc.y.ID, got, tc.want)
+		}
+	}
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertAtHeadPrependsBeforeAll(t *testing.T) {
+	l := NewList(0)
+	var prev *Item
+	for i := int32(0); i < 20; i++ {
+		it := newItem(i)
+		l.InsertAtHead(it)
+		if prev != nil && !l.Order(it, prev) {
+			t.Fatalf("item %d must precede previously inserted head %d", it.ID, prev.ID)
+		}
+		prev = it
+	}
+}
+
+func TestInsertAtTailAppendsAfterAll(t *testing.T) {
+	l := NewList(0)
+	var prev *Item
+	for i := int32(0); i < 20; i++ {
+		it := newItem(i)
+		l.InsertAtTail(it)
+		if prev != nil && !l.Order(prev, it) {
+			t.Fatalf("tail item %d must follow %d", it.ID, prev.ID)
+		}
+		prev = it
+	}
+	items, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.ID != int32(i) {
+			t.Fatalf("position %d holds %d", i, it.ID)
+		}
+	}
+}
+
+func TestDeleteUnlinksAndFrees(t *testing.T) {
+	l := NewList(0)
+	a, b, c := newItem(0), newItem(1), newItem(2)
+	l.InsertAtTail(a)
+	l.InsertAtTail(b)
+	l.InsertAtTail(c)
+	l.Delete(b)
+	if b.InList() {
+		t.Fatal("deleted item still reports InList")
+	}
+	if !l.Order(a, c) {
+		t.Fatal("a must still precede c")
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+	// b is free and can be reinserted, even into another list.
+	l2 := NewList(0)
+	l2.InsertAtHead(b)
+	if !b.InList() {
+		t.Fatal("reinserted item must report InList")
+	}
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l2.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteSentinelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewList(0)
+	l.Delete(l.Sentinel())
+}
+
+func TestDoubleInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewList(0)
+	a := newItem(0)
+	l.InsertAtHead(a)
+	l.InsertAtHead(a)
+}
+
+func TestDeleteFreeItemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l := NewList(0)
+	l.Delete(newItem(0))
+}
+
+// Dense head insertion forces repeated splits and bottom renumbering with a
+// tiny group cap; the order must match LIFO insertion order.
+func TestManyHeadInsertsForcesSplits(t *testing.T) {
+	l := NewList(4)
+	const n = 1000
+	items := make([]*Item, n)
+	for i := int32(0); i < n; i++ {
+		items[i] = newItem(i)
+		l.InsertAtHead(items[i])
+	}
+	got, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, it := range got {
+		if it.ID != int32(n-1-i) {
+			t.Fatalf("position %d holds %d, want %d", i, it.ID, n-1-i)
+		}
+	}
+	if l.Relabels() == 0 {
+		t.Fatal("expected relabels with group cap 4 and 1000 head inserts")
+	}
+}
+
+// Always inserting after the same anchor exhausts the local bottom-label gap
+// quickly and stresses renumber/split interplay.
+func TestHotspotInsertAfterSameAnchor(t *testing.T) {
+	l := NewList(8)
+	anchor := newItem(0)
+	l.InsertAtHead(anchor)
+	const n = 2000
+	var prev *Item
+	for i := int32(1); i <= n; i++ {
+		it := newItem(i)
+		l.InsertAfter(anchor, it)
+		if !l.Order(anchor, it) {
+			t.Fatalf("anchor must precede %d", i)
+		}
+		if prev != nil && !l.Order(it, prev) {
+			t.Fatalf("later hotspot insert %d must precede earlier %d", it.ID, prev.ID)
+		}
+		prev = it
+	}
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reference model: a plain slice.
+type refList struct{ ids []int32 }
+
+func (r *refList) insertAfter(x, y int32) {
+	if x == -1 {
+		r.ids = append([]int32{y}, r.ids...)
+		return
+	}
+	for i, id := range r.ids {
+		if id == x {
+			r.ids = append(r.ids[:i+1], append([]int32{y}, r.ids[i+1:]...)...)
+			return
+		}
+	}
+	panic("anchor not found")
+}
+
+func (r *refList) delete(x int32) {
+	for i, id := range r.ids {
+		if id == x {
+			r.ids = append(r.ids[:i], r.ids[i+1:]...)
+			return
+		}
+	}
+	panic("not found")
+}
+
+// Property: under a random sequence of InsertAfter/InsertAtTail/Delete, the
+// OM list agrees with a reference slice, and Order agrees for random pairs.
+func TestQuickAgainstReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewList(4 + rng.Intn(12))
+		ref := &refList{}
+		live := map[int32]*Item{}
+		next := int32(0)
+		for step := 0; step < 400; step++ {
+			switch op := rng.Intn(10); {
+			case op < 5 || len(ref.ids) == 0: // insert after random live item or head
+				y := newItem(next)
+				next++
+				if len(ref.ids) == 0 || rng.Intn(4) == 0 {
+					l.InsertAtHead(y)
+					ref.insertAfter(-1, y.ID)
+				} else {
+					x := ref.ids[rng.Intn(len(ref.ids))]
+					l.InsertAfter(live[x], y)
+					ref.insertAfter(x, y.ID)
+				}
+				live[y.ID] = y
+			case op < 7: // tail append
+				y := newItem(next)
+				next++
+				l.InsertAtTail(y)
+				ref.ids = append(ref.ids, y.ID)
+				live[y.ID] = y
+			default: // delete
+				x := ref.ids[rng.Intn(len(ref.ids))]
+				l.Delete(live[x])
+				ref.delete(x)
+				delete(live, x)
+			}
+		}
+		got, err := l.Check()
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if len(got) != len(ref.ids) {
+			return false
+		}
+		for i, it := range got {
+			if it.ID != ref.ids[i] {
+				t.Logf("seed %d: position %d = %d, want %d", seed, i, it.ID, ref.ids[i])
+				return false
+			}
+		}
+		// Order agrees with reference positions for sampled pairs.
+		pos := map[int32]int{}
+		for i, id := range ref.ids {
+			pos[id] = i
+		}
+		for k := 0; k < 100 && len(ref.ids) >= 2; k++ {
+			a := ref.ids[rng.Intn(len(ref.ids))]
+			b := ref.ids[rng.Intn(len(ref.ids))]
+			if a == b {
+				continue
+			}
+			if l.Order(live[a], live[b]) != (pos[a] < pos[b]) {
+				t.Logf("seed %d: Order(%d,%d) disagrees", seed, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: labels exposed via Labels are lexicographically consistent with
+// Order for every adjacent pair after arbitrary churn.
+func TestQuickLabelMonotonicity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := NewList(4)
+		var items []*Item
+		for i := int32(0); i < 300; i++ {
+			it := newItem(i)
+			if len(items) == 0 || rng.Intn(2) == 0 {
+				l.InsertAtHead(it)
+			} else {
+				l.InsertAfter(items[rng.Intn(len(items))], it)
+			}
+			items = append(items, it)
+		}
+		ordered, err := l.Check()
+		if err != nil {
+			return false
+		}
+		var plt, plb uint64
+		for i, it := range ordered {
+			lt, lb, _, ok := l.Labels(it)
+			if !ok {
+				return false
+			}
+			if i > 0 && !(plt < lt || (plt == lt && plb < lb)) {
+				t.Logf("seed %d: labels not increasing at %d", seed, i)
+				return false
+			}
+			plt, plb = lt, lb
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent readers calling Order while one writer churns inserts/deletes:
+// the lock-free Order must never return results that contradict a pair whose
+// relative position is pinned for the whole test.
+func TestConcurrentOrderDuringChurn(t *testing.T) {
+	l := NewList(4)
+	lo, hi := newItem(-10), newItem(-20)
+	l.InsertAtHead(hi)
+	l.InsertAtHead(lo) // lo before hi, forever
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if !l.Order(lo, hi) || l.Order(hi, lo) {
+					panic("order of pinned pair violated")
+				}
+			}
+		}()
+	}
+	// Writer: churn items between lo and hi, forcing relabels.
+	rng := rand.New(rand.NewSource(1))
+	var churn []*Item
+	deadline := time.Now().Add(500 * time.Millisecond)
+	next := int32(0)
+	for time.Now().Before(deadline) {
+		if len(churn) < 200 || rng.Intn(2) == 0 {
+			it := newItem(next)
+			next++
+			l.InsertAfter(lo, it)
+			churn = append(churn, it)
+		} else {
+			i := rng.Intn(len(churn))
+			l.Delete(churn[i])
+			churn[i] = churn[len(churn)-1]
+			churn = churn[:len(churn)-1]
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent writers on the same list must serialize correctly.
+func TestConcurrentInsertDelete(t *testing.T) {
+	l := NewList(8)
+	const workers, perWorker = 8, 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []*Item
+			for i := 0; i < perWorker; i++ {
+				if len(mine) == 0 || rng.Intn(3) > 0 {
+					it := newItem(int32(w*perWorker + i))
+					if rng.Intn(2) == 0 {
+						l.InsertAtHead(it)
+					} else {
+						l.InsertAtTail(it)
+					}
+					mine = append(mine, it)
+				} else {
+					j := rng.Intn(len(mine))
+					l.Delete(mine[j])
+					mine[j] = mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if _, err := l.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVersionIsEvenAtQuiescence(t *testing.T) {
+	l := NewList(4)
+	for i := int32(0); i < 500; i++ {
+		l.InsertAtHead(newItem(i))
+	}
+	if v := l.Version(); v&1 != 0 {
+		t.Fatalf("version %d is odd at quiescence", v)
+	}
+}
+
+func TestLabelsReportsNotOKForFreeItem(t *testing.T) {
+	l := NewList(0)
+	if _, _, _, ok := l.Labels(newItem(0)); ok {
+		t.Fatal("Labels of a free item must not be ok")
+	}
+}
+
+func BenchmarkOrder(b *testing.B) {
+	l := NewList(0)
+	items := make([]*Item, 1024)
+	for i := range items {
+		items[i] = newItem(int32(i))
+		l.InsertAtTail(items[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Order(items[i%1024], items[(i*7+13)%1024])
+	}
+}
+
+func BenchmarkInsertDeleteHead(b *testing.B) {
+	l := NewList(0)
+	it := newItem(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InsertAtHead(it)
+		l.Delete(it)
+	}
+}
+
+func BenchmarkInsertTailChurn(b *testing.B) {
+	l := NewList(0)
+	items := make([]*Item, b.N)
+	for i := range items {
+		items[i] = newItem(int32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.InsertAtTail(items[i])
+	}
+}
+
+// Regression: repeated tail appends with a tiny group cap drive group labels
+// toward the top of the label space; splits there must renumber rather than
+// mint duplicate group labels (which silently corrupt Order).
+func TestTailSplitLabelExhaustion(t *testing.T) {
+	l := NewList(4)
+	var items []*Item
+	for i := int32(0); i < 2000; i++ {
+		it := newItem(i)
+		l.InsertAtTail(it)
+		items = append(items, it)
+	}
+	walk, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(walk); i++ {
+		if !l.Order(walk[i-1], walk[i]) {
+			t.Fatalf("Order disagrees with walk at position %d (%d vs %d)", i, walk[i-1].ID, walk[i].ID)
+		}
+		if l.Order(walk[i], walk[i-1]) {
+			t.Fatalf("Order not antisymmetric at position %d", i)
+		}
+	}
+	// Labels strictly increase lexicographically across the whole list.
+	var plt, plb uint64
+	for i, it := range walk {
+		lt, lb, _, ok := l.Labels(it)
+		if !ok {
+			t.Fatalf("labels not ok at %d", i)
+		}
+		if i > 0 && !(plt < lt || (plt == lt && plb < lb)) {
+			t.Fatalf("labels not increasing at position %d: (%d,%d) after (%d,%d)", i, lt, lb, plt, plb)
+		}
+		plt, plb = lt, lb
+	}
+}
+
+// Regression: interleaved head and tail churn with deletions must keep
+// Order consistent with the walk (exercises rebalance fallbacks).
+func TestHeadTailChurnOrderConsistency(t *testing.T) {
+	l := NewList(4)
+	rng := rand.New(rand.NewSource(5))
+	var live []*Item
+	next := int32(0)
+	for step := 0; step < 5000; step++ {
+		switch {
+		case len(live) < 10 || rng.Intn(3) > 0:
+			it := newItem(next)
+			next++
+			if rng.Intn(2) == 0 {
+				l.InsertAtTail(it)
+			} else {
+				l.InsertAtHead(it)
+			}
+			live = append(live, it)
+		default:
+			i := rng.Intn(len(live))
+			l.Delete(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+	}
+	walk, err := l.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(walk); i++ {
+		if !l.Order(walk[i-1], walk[i]) {
+			t.Fatalf("Order disagrees with walk at position %d", i)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package park implements the ParK/PKC-style parallel static k-core
+// decomposition (Dasari et al. [28], Kabir & Madduri [29]; paper §2.1):
+// level-synchronous peeling where, at each level k, all vertices whose
+// residual degree fell to k or below are processed by a pool of workers
+// with atomic degree decrements. It is the parallel counterpart of the
+// sequential BZ algorithm and an alternative initializer for maintenance
+// state at large n.
+package park
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/graph"
+)
+
+// Decompose computes all core numbers of g with `workers` goroutines.
+// The result is identical to the sequential BZ decomposition.
+func Decompose(g *graph.Graph, workers int) []int32 {
+	core, _ := DecomposeOrdered(g, workers)
+	return core
+}
+
+// DecomposeOrdered additionally returns a peeling order that is a valid
+// k-order (Definition 3.5): vertices appear grouped by core value, and
+// every vertex is emitted while its residual degree is at most its core
+// number, so d⁺out(v) ≤ core(v) holds along the order. Workers collect
+// per-level frontiers concurrently; concatenation order within one level is
+// scheduling-dependent but always valid.
+func DecomposeOrdered(g *graph.Graph, workers int) (core []int32, order []int32) {
+	n := g.N()
+	core = make([]int32, n)
+	order = make([]int32, 0, n)
+	if n == 0 {
+		return core, order
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	deg := make([]atomic.Int32, n)
+	for v := 0; v < n; v++ {
+		deg[v].Store(int32(g.Degree(int32(v))))
+	}
+	processed := 0
+	for k := int32(0); processed < n; k++ {
+		// Scan phase: collect this level's initial frontier in
+		// parallel. A vertex belongs to level k iff its residual
+		// degree is <= k and it was not processed at a lower level
+		// (its residual degree then sits in (k-1, k], i.e. == k, or
+		// below k only at k == its scan level — handled by marking).
+		frontier := parallelCollect(n, workers, func(v int32) bool {
+			d := deg[v].Load()
+			return d >= 0 && d <= k // negative marks processed
+		})
+		for len(frontier) > 0 {
+			for _, v := range frontier {
+				// Mark processed by driving the degree negative;
+				// racing collectors skip it afterwards.
+				deg[v].Store(-1 << 24)
+				core[v] = k
+			}
+			order = append(order, frontier...)
+			processed += len(frontier)
+			frontier = processFrontier(g, deg, frontier, k, workers)
+		}
+	}
+	return core, order
+}
+
+// processFrontier decrements the residual degree of every neighbor of the
+// frontier in parallel and returns the vertices that just crossed the level
+// threshold. A CAS loop guarantees each neighbor is appended exactly once —
+// by the worker whose decrement moved it from k+1 to k.
+func processFrontier(g *graph.Graph, deg []atomic.Int32, frontier []int32, k int32, workers int) []int32 {
+	next := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var local []int32
+			for i := w; i < len(frontier); i += workers {
+				v := frontier[i]
+				for _, u := range g.Adj(v) {
+					for {
+						du := deg[u].Load()
+						if du <= k {
+							break // processed or already at the level
+						}
+						if deg[u].CompareAndSwap(du, du-1) {
+							if du-1 == k {
+								local = append(local, u)
+							}
+							break
+						}
+					}
+				}
+			}
+			next[w] = local
+		}(w)
+	}
+	wg.Wait()
+	var out []int32
+	for _, l := range next {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// parallelCollect gathers the vertices satisfying pred, scanned in ranges by
+// the worker pool, preserving ascending order within each worker's stripe.
+func parallelCollect(n, workers int, pred func(int32) bool) []int32 {
+	parts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []int32
+			for v := int32(lo); v < int32(hi); v++ {
+				if pred(v) {
+					local = append(local, v)
+				}
+			}
+			parts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var out []int32
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

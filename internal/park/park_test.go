@@ -1,0 +1,110 @@
+package park
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/bz"
+)
+
+func TestMatchesBZOnSuite(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"er":   gen.ErdosRenyi(500, 2000, 1),
+		"ba":   gen.BarabasiAlbert(500, 4, 2),
+		"rmat": gen.RMAT(9, 1500, 3),
+		"plc":  gen.PowerLawCluster(500, 8, 2.4, 4),
+	} {
+		want, _ := bz.Decompose(g)
+		for _, workers := range []int{1, 4, 8} {
+			got := Decompose(g, workers)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s %dw: core[%d] = %d, want %d", name, workers, v, got[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEmptyAndIsolated(t *testing.T) {
+	if got := Decompose(graph.New(0), 4); len(got) != 0 {
+		t.Fatal("empty graph")
+	}
+	got, order := DecomposeOrdered(graph.New(7), 4)
+	if len(order) != 7 {
+		t.Fatalf("order len %d", len(order))
+	}
+	for _, c := range got {
+		if c != 0 {
+			t.Fatal("isolated vertices must be core 0")
+		}
+	}
+}
+
+func TestOrderedEmitsValidKOrder(t *testing.T) {
+	g := gen.RMAT(9, 1500, 7)
+	cores, order := DecomposeOrdered(g, 8)
+	if len(order) != g.N() {
+		t.Fatalf("order has %d entries, want %d", len(order), g.N())
+	}
+	pos := make([]int, g.N())
+	seen := make([]bool, g.N())
+	for i, v := range order {
+		if seen[v] {
+			t.Fatalf("vertex %d twice in order", v)
+		}
+		seen[v] = true
+		pos[v] = i
+		if i > 0 && cores[order[i-1]] > cores[v] {
+			t.Fatal("core values decrease along the order")
+		}
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		dout := int32(0)
+		for _, w := range g.Adj(v) {
+			if pos[v] < pos[w] {
+				dout++
+			}
+		}
+		if dout > cores[v] {
+			t.Fatalf("d+out(%d) = %d > core %d: invalid k-order", v, dout, cores[v])
+		}
+	}
+}
+
+// Property: ParK agrees with BZ for random graphs and worker counts.
+func TestQuickAgainstBZ(t *testing.T) {
+	f := func(seed int64, w uint8) bool {
+		workers := 1 + int(w%8)
+		g := gen.ErdosRenyi(100, 400, seed)
+		want, _ := bz.Decompose(g)
+		got := Decompose(g, workers)
+		for v := range want {
+			if got[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkParKVsBZ(b *testing.B) {
+	g := gen.ErdosRenyi(50000, 200000, 1)
+	b.Run("BZ", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bz.Decompose(g)
+		}
+	})
+	for _, w := range []int{1, 4, 16} {
+		b.Run(map[int]string{1: "ParK1", 4: "ParK4", 16: "ParK16"}[w], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Decompose(g, w)
+			}
+		})
+	}
+}

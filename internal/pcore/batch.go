@@ -1,0 +1,132 @@
+package pcore
+
+import (
+	"sync"
+
+	"repro/graph"
+	"repro/internal/core"
+)
+
+// InsertEdges inserts a batch of edges with the Parallel-Order insertion
+// algorithm using `workers` goroutines (Algorithm 5: the batch is
+// partitioned statically and each worker processes its share one edge at a
+// time, no preprocessing). It returns per-edge statistics aligned with
+// edges; stats[i].VPlus feeds the Fig. 1 histogram.
+//
+// Callers must not run InsertEdges and RemoveEdges concurrently on one
+// State — the paper's algorithms assume insertion and removal phases never
+// overlap (§4), and the kcore façade enforces it.
+func InsertEdges(st *core.State, edges []graph.Edge, workers int) []core.InsertStats {
+	stats, _ := InsertEdgesMetered(st, edges, workers, nil)
+	return stats
+}
+
+// InsertEdgesMetered is InsertEdges with contention counters: when m is
+// non-nil, the workers record lock aborts, queue rebuilds, evictions and
+// promotions into it.
+func InsertEdgesMetered(st *core.State, edges []graph.Edge, workers int, m *Metrics) ([]core.InsertStats, MetricsSnapshot) {
+	if workers < 1 {
+		workers = 1
+	}
+	if m == nil {
+		m = &Metrics{}
+	}
+	stats := make([]core.InsertStats, len(edges))
+	ws := make([]*insertWorker, workers)
+	var wg sync.WaitGroup
+	for pi := 0; pi < workers; pi++ {
+		ws[pi] = &insertWorker{st: st, m: m}
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			w := ws[pi]
+			for i := pi; i < len(edges); i += workers {
+				stats[i] = w.insertEdge(edges[i].U, edges[i].V)
+			}
+		}(pi)
+	}
+	wg.Wait()
+	repairDout(st, ws, nil, workers)
+	return stats, m.Snapshot()
+}
+
+// RemoveEdges removes a batch of edges with the Parallel-Order removal
+// algorithm using `workers` goroutines. It returns per-edge statistics
+// aligned with edges.
+func RemoveEdges(st *core.State, edges []graph.Edge, workers int) []core.RemoveStats {
+	stats, _ := RemoveEdgesMetered(st, edges, workers, nil)
+	return stats
+}
+
+// RemoveEdgesMetered is RemoveEdges with contention counters.
+func RemoveEdgesMetered(st *core.State, edges []graph.Edge, workers int, m *Metrics) ([]core.RemoveStats, MetricsSnapshot) {
+	if workers < 1 {
+		workers = 1
+	}
+	if m == nil {
+		m = &Metrics{}
+	}
+	stats := make([]core.RemoveStats, len(edges))
+	ws := make([]*removeWorker, workers)
+	var wg sync.WaitGroup
+	for pi := 0; pi < workers; pi++ {
+		ws[pi] = &removeWorker{st: st, m: m}
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			w := ws[pi]
+			for i := pi; i < len(edges); i += workers {
+				stats[i] = w.removeEdge(edges[i].U, edges[i].V)
+			}
+		}(pi)
+	}
+	wg.Wait()
+	repairDout(st, nil, ws, workers)
+	return stats, m.Snapshot()
+}
+
+// repairDout recomputes d⁺out for every vertex whose k-order position
+// changed during the batch and for the neighbors it had at move time, in
+// parallel, once every worker has quiesced. An edge's orientation changes
+// only if one of its endpoints moved, so this set covers every stale Dout.
+// Within a batch each worker maintains Dout incrementally exactly as
+// Algorithm 7 prescribes; what this pass settles is the orientation of edges
+// whose BOTH endpoints were repositioned by different workers — their
+// relative order at the head of O_{k+1} (or tail of O_{k-1}) is decided by
+// lock interleaving and is only observable now. Cost: O(Σ_{v moved} deg(v)),
+// the same order as the traversal work itself.
+func repairDout(st *core.State, iws []*insertWorker, rws []*removeWorker, workers int) {
+	mark := make([]bool, st.N())
+	var targets []int32
+	add := func(v int32) {
+		if !mark[v] {
+			mark[v] = true
+			targets = append(targets, v)
+		}
+	}
+	collect := func(repair []int32) {
+		for _, v := range repair {
+			add(v)
+		}
+	}
+	for _, w := range iws {
+		collect(w.repair)
+	}
+	for _, w := range rws {
+		collect(w.repair)
+	}
+	if len(targets) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for pi := 0; pi < workers; pi++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			for i := pi; i < len(targets); i += workers {
+				st.RecomputeDout(targets[i])
+			}
+		}(pi)
+	}
+	wg.Wait()
+}

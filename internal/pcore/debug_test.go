@@ -1,0 +1,62 @@
+package pcore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/core"
+)
+
+// TestShrinkInsertFailure hunts for a minimal failing insertion batch: a
+// debugging aid kept as a regression canary (it fails loudly with the batch
+// that broke, and passes silently when the implementation is correct).
+func TestShrinkInsertFailure(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(12)
+		base := gen.ErdosRenyi(n, int64(2*n), seed)
+		batch := gen.SampleNonEdges(base, 10, seed+100)
+		for trial := 0; trial < 30; trial++ {
+			st := core.NewState(base.Clone())
+			InsertEdges(st, batch, 4)
+			if err := st.CheckInvariants(); err != nil {
+				// Try to shrink the batch while still failing.
+				min := shrink(t, base, batch, 4)
+				t.Fatalf("seed %d trial %d: %v\nminimal batch (n=%d): %v\nbase edges: %v",
+					seed, trial, err, n, min, base.Edges())
+			}
+		}
+	}
+}
+
+func failsOnce(base *graph.Graph, batch []graph.Edge, workers, attempts int) error {
+	for i := 0; i < attempts; i++ {
+		st := core.NewState(base.Clone())
+		InsertEdges(st, batch, workers)
+		if err := st.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func shrink(t *testing.T, base *graph.Graph, batch []graph.Edge, workers int) []graph.Edge {
+	t.Helper()
+	cur := append([]graph.Edge{}, batch...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(cur); i++ {
+			cand := append(append([]graph.Edge{}, cur[:i]...), cur[i+1:]...)
+			if err := failsOnce(base, cand, workers, 60); err != nil {
+				cur = cand
+				changed = true
+				break
+			}
+		}
+	}
+	fmt.Printf("shrunk to %d edges: %v\n", len(cur), cur)
+	return cur
+}

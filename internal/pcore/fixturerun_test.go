@@ -1,0 +1,41 @@
+package pcore
+
+import (
+	"testing"
+
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/internal/core"
+)
+
+// TestFixtureSeqInsert replays the shrunk failing instance edge by edge,
+// reporting the first insertion that breaks an invariant and the mismatch
+// between the promoted set and the true core-number delta.
+func TestFixtureSeqInsert(t *testing.T) {
+	g := graph.FromEdges(fixtureN, fixtureBase)
+	st := core.NewState(g)
+	for i, e := range fixtureBatch {
+		before, _ := bz.Decompose(st.G)
+		gAfter := st.G.Clone()
+		gAfter.AddEdge(e.U, e.V)
+		after, _ := bz.Decompose(gAfter)
+		var wantStar []int32
+		for v := range after {
+			if after[v] != before[v] {
+				wantStar = append(wantStar, int32(v))
+			}
+		}
+		res := st.InsertEdgeSeq(e.U, e.V)
+		if err := st.CheckInvariants(); err != nil {
+			t.Logf("edge %d (%d,%d): %v", i, e.U, e.V, err)
+			t.Logf("true V* (cores that must change): %v", wantStar)
+			t.Logf("reported |V*|=%d |V+|=%d", res.VStar, res.VPlus)
+			for _, v := range wantStar {
+				t.Logf("  v=%d: before=%d after(want)=%d got=%d dout=%d",
+					v, before[v], after[v], st.CoreOf(v), st.Dout[v].Load())
+			}
+			t.FailNow()
+		}
+	}
+	t.Log("fixture passed (bug fixed)")
+}

@@ -1,0 +1,51 @@
+package pcore
+
+import "sync/atomic"
+
+// Metrics aggregates contention and work counters across one batch. The
+// paper's work-depth analysis (§4.1.3, §4.2.3) argues that blocking is rare
+// because V+ and V* are almost always tiny (Fig. 1); these counters expose
+// the mechanism directly: how often a conditional lock aborted because
+// another worker changed a core number, how often a priority queue had to
+// rebuild its label snapshot, and how often a removal propagation was forced
+// to redo by a concurrent CheckMCD.
+type Metrics struct {
+	// LockAborts counts conditional-lock acquisitions abandoned because
+	// the target's core number left the operation's level (insertion
+	// dequeues and removal neighbor visits).
+	LockAborts atomic.Int64
+	// QueueRebuilds counts full label re-snapshots of insertion priority
+	// queues (Algorithm 9 update_version executions).
+	QueueRebuilds atomic.Int64
+	// RemovalRedos counts propagation rounds re-run because a neighbor's
+	// CheckMCD CASed the t status from 1 to 3 (Algorithm 8 line 16).
+	RemovalRedos atomic.Int64
+	// Evictions counts Backward repositionings (insertion candidates
+	// confirmed out after having joined V*).
+	Evictions atomic.Int64
+	// Promotions and Drops count core-number changes applied.
+	Promotions atomic.Int64
+	Drops      atomic.Int64
+}
+
+// Snapshot returns a plain-value copy for reporting.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		LockAborts:    m.LockAborts.Load(),
+		QueueRebuilds: m.QueueRebuilds.Load(),
+		RemovalRedos:  m.RemovalRedos.Load(),
+		Evictions:     m.Evictions.Load(),
+		Promotions:    m.Promotions.Load(),
+		Drops:         m.Drops.Load(),
+	}
+}
+
+// MetricsSnapshot is the plain-value form of Metrics.
+type MetricsSnapshot struct {
+	LockAborts    int64
+	QueueRebuilds int64
+	RemovalRedos  int64
+	Evictions     int64
+	Promotions    int64
+	Drops         int64
+}

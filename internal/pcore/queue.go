@@ -1,0 +1,177 @@
+// Package pcore implements the paper's contribution: the Parallel-Order
+// core maintenance algorithms — batch edge insertion (Algorithm 7) and batch
+// edge removal (Algorithm 8) driven by per-worker goroutines (Algorithm 5),
+// synchronized with per-vertex CAS spin locks, the order-change status
+// protocol (Algorithm 6) and the versioned priority queue (Algorithms 9-11).
+package pcore
+
+import (
+	"container/heap"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/om"
+)
+
+// pqEntry caches a vertex with the [Lt, Lb, s] snapshot taken at enqueue
+// time (§5): the labels order the heap, the status s detects stale
+// positions at dequeue.
+type pqEntry struct {
+	v      int32
+	lt, lb uint64
+	s      uint32
+}
+
+// pqueue is the private min-priority queue Q_p of one insertion worker. It
+// is single-owner: only its worker touches it, so the queue itself needs no
+// locks; all synchronization happens through the OM list version and the
+// per-vertex status counters.
+type pqueue struct {
+	st    *core.State
+	m     *Metrics
+	k     int32
+	list  *om.List
+	es    []pqEntry
+	in    map[int32]bool // current queue membership
+	ver   uint64
+	dirty bool // Q.ver = ∅ in the paper: labels must be re-snapshotted
+}
+
+func newPQueue(st *core.State, k int32) *pqueue {
+	list := st.List(k)
+	ver := list.Version()
+	return &pqueue{st: st, k: k, list: list, in: map[int32]bool{}, ver: ver, dirty: ver&1 == 1}
+}
+
+// contains reports whether v currently sits in the queue.
+func (q *pqueue) contains(v int32) bool { return q.in[v] }
+
+// heap.Interface over label pairs.
+func (q *pqueue) Len() int { return len(q.es) }
+func (q *pqueue) Less(i, j int) bool {
+	if q.es[i].lt != q.es[j].lt {
+		return q.es[i].lt < q.es[j].lt
+	}
+	return q.es[i].lb < q.es[j].lb
+}
+func (q *pqueue) Swap(i, j int) { q.es[i], q.es[j] = q.es[j], q.es[i] }
+func (q *pqueue) Push(x any)    { q.es = append(q.es, x.(pqEntry)) }
+func (q *pqueue) Pop() any {
+	n := len(q.es) - 1
+	e := q.es[n]
+	q.es = q.es[:n]
+	return e
+}
+
+// enqueue adds v with a label/status snapshot (Algorithm 10). If the
+// snapshot raced with a relabel or an order change, the queue is marked
+// dirty and lazily rebuilt at the next dequeue.
+func (q *pqueue) enqueue(v int32) {
+	if q.in[v] {
+		return
+	}
+	q.in[v] = true
+	s := q.st.S[v].Load()
+	lt, lb, ver, ok := q.list.Labels(&q.st.Items[v])
+	heap.Push(q, pqEntry{v: v, lt: lt, lb: lb, s: s})
+	if !ok || ver != q.ver || s&1 == 1 || q.st.S[v].Load() != s {
+		q.dirty = true
+	}
+}
+
+// refresh re-snapshots every entry at one consistent list version
+// (Algorithm 9, update_version). Entries whose vertex left core level k are
+// dropped — they would be discarded at dequeue anyway.
+func (q *pqueue) refresh() {
+	if q.m != nil {
+		q.m.QueueRebuilds.Add(1)
+	}
+	for {
+		ver := q.list.Version()
+		if ver&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		stable := true
+		w := 0
+		for _, e := range q.es {
+			if q.st.Core[e.v].Load() != q.k {
+				delete(q.in, e.v) // promoted by another worker; drop
+				continue
+			}
+			s := q.st.S[e.v].Load()
+			if s&1 == 1 {
+				stable = false
+				break
+			}
+			lt, lb, lver, ok := q.list.Labels(&q.st.Items[e.v])
+			if !ok || lver != ver || q.st.S[e.v].Load() != s {
+				stable = false
+				break
+			}
+			q.es[w] = pqEntry{v: e.v, lt: lt, lb: lb, s: s}
+			w++
+		}
+		if !stable || q.list.Version() != ver {
+			runtime.Gosched()
+			continue
+		}
+		q.es = q.es[:w]
+		heap.Init(q)
+		q.ver = ver
+		q.dirty = false
+		return
+	}
+}
+
+// dequeue pops the vertex with minimal k-order whose core number is still k,
+// returning it LOCKED (Algorithm 11). own reports vertices this worker
+// already holds (members of V+); they are discarded defensively rather than
+// self-deadlocked on. ok is false when no qualifying vertex remains.
+func (q *pqueue) dequeue(own func(int32) bool) (int32, bool) {
+	for len(q.es) > 0 {
+		if q.dirty {
+			q.refresh()
+			continue
+		}
+		e := q.es[0]
+		if own(e.v) || q.st.Core[e.v].Load() != q.k {
+			if traceFn != nil {
+				traceFn("q=%p discard %d (own=%v core=%d k=%d)", q.st, e.v, own(e.v), q.st.Core[e.v].Load(), q.k)
+			}
+			heap.Pop(q)
+			delete(q.in, e.v)
+			continue
+		}
+		// Conditional lock: busy-wait only while v can still be a
+		// candidate at level k; abort if another worker promotes it.
+		if !q.st.Locks[e.v].LockIf(func() bool { return q.st.Core[e.v].Load() == q.k }) {
+			if q.m != nil {
+				q.m.LockAborts.Add(1)
+			}
+			if traceFn != nil {
+				traceFn("q=%p lockif-abort %d (core=%d k=%d)", q.st, e.v, q.st.Core[e.v].Load(), q.k)
+			}
+			heap.Pop(q)
+			delete(q.in, e.v)
+			continue
+		}
+		// Locked. If v's order changed since the snapshot, the heap
+		// may have served the wrong minimum: release and rebuild.
+		if q.st.S[e.v].Load() != e.s {
+			q.st.Locks[e.v].Unlock()
+			q.dirty = true
+			continue
+		}
+		heap.Pop(q)
+		delete(q.in, e.v)
+		return e.v, true
+	}
+	return 0, false
+}
+
+// ---- tracing (test support) ----
+
+// traceFn, when non-nil, receives a formatted event line from the worker
+// code paths. Installed only by tests; nil in production use.
+var traceFn func(format string, args ...any)

@@ -1,0 +1,25 @@
+package pcore
+
+import (
+	"testing"
+
+	"repro/gen"
+	"repro/internal/core"
+)
+
+// TestLargerScaleInsert reproduces the coremaint CLI scenario: a denser ER
+// graph with a batch that overlaps existing edges, repeated across worker
+// counts.
+func TestLargerScaleInsert(t *testing.T) {
+	base := gen.ErdosRenyi(2000, 8000, 3)
+	batch := gen.ErdosRenyi(2000, 500, 9).Edges() // overlaps base edges
+	for trial := 0; trial < 20; trial++ {
+		for _, workers := range []int{1, 4, 8} {
+			st := core.NewState(base.Clone())
+			InsertEdges(st, batch, workers)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+			}
+		}
+	}
+}

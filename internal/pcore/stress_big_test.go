@@ -1,0 +1,44 @@
+package pcore
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/core"
+)
+
+// TestStressAlternatingFamilies runs many rounds of alternating 8-worker
+// batches over three graph families, checking every invariant between
+// batches. Heavier than the quick property test; skipped with -short.
+func TestStressAlternatingFamilies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var g *graph.Graph
+		switch seed % 3 {
+		case 0:
+			g = gen.PowerLawCluster(400, 7, 2.4, seed)
+		case 1:
+			g = gen.BarabasiAlbert(400, 4, seed)
+		default:
+			g = gen.RMAT(9, 2000, seed)
+		}
+		st := core.NewState(g)
+		for round := 0; round < 4; round++ {
+			ins := gen.SampleNonEdges(st.G, 120, rng.Int63())
+			InsertEdges(st, ins, 8)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d round %d insert: %v", seed, round, err)
+			}
+			rem := gen.SampleEdges(st.G, 120, rng.Int63())
+			RemoveEdges(st, rem, 8)
+			if err := st.CheckInvariants(); err != nil {
+				t.Fatalf("seed %d round %d remove: %v", seed, round, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness needs: means with 95% confidence intervals (the paper reports
+// "means with 95% confidence intervals", §6.1), histograms with geometric
+// buckets for the Fig. 1 size distributions, and speedup ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary holds the aggregate of a sample of measurements.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (normal approximation; the paper repeats runs >= 50 times).
+	CI95 float64
+	Min  float64
+	Max  float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(len(xs)-1))
+		s.CI95 = 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+	}
+	return s
+}
+
+// SummarizeDurations converts durations to milliseconds and summarizes.
+func SummarizeDurations(ds []time.Duration) Summary {
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d) / float64(time.Millisecond)
+	}
+	return Summarize(xs)
+}
+
+// String renders "mean ± ci" with adaptive precision.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3g ± %.2g", s.Mean, s.CI95)
+}
+
+// Speedup returns base/x — how many times faster x is than base.
+// Returns 0 when x is 0.
+func Speedup(base, x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	return base / x
+}
+
+// Histogram counts values into buckets; Bounds[i] is the inclusive upper
+// bound of bucket i (the last bucket is open-ended).
+type Histogram struct {
+	Bounds []int
+	Counts []int64
+	Total  int64
+}
+
+// NewHistogram builds a histogram over the given ascending inclusive upper
+// bounds; one extra open-ended bucket is appended.
+func NewHistogram(bounds []int) *Histogram {
+	if !sort.IntsAreSorted(bounds) {
+		panic("stats: histogram bounds must be ascending")
+	}
+	return &Histogram{
+		Bounds: append([]int(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x int) {
+	h.Total++
+	for i, b := range h.Bounds {
+		if x <= b {
+			h.Counts[i]++
+			return
+		}
+	}
+	h.Counts[len(h.Counts)-1]++
+}
+
+// AddAll counts a slice of observations.
+func (h *Histogram) AddAll(xs []int) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// BucketLabel names bucket i ("0-10", "11-100", ">1000").
+func (h *Histogram) BucketLabel(i int) string {
+	switch {
+	case i == 0:
+		return fmt.Sprintf("0-%d", h.Bounds[0])
+	case i < len(h.Bounds):
+		return fmt.Sprintf("%d-%d", h.Bounds[i-1]+1, h.Bounds[i])
+	default:
+		return fmt.Sprintf(">%d", h.Bounds[len(h.Bounds)-1])
+	}
+}
+
+// Fraction returns the share of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}

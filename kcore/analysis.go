@@ -1,0 +1,96 @@
+package kcore
+
+import (
+	"sort"
+
+	"repro/graph"
+	"repro/internal/bz"
+)
+
+// This file holds the analysis helpers applications build on maintained
+// core numbers (the paper's §1 application list: dense-community
+// monitoring, influential-spreader detection, hierarchy queries).
+
+// Degeneracy returns the graph's degeneracy — the maximum core number —
+// together with a degeneracy ordering (a peeling order; iterating it and
+// removing vertices left to right leaves each vertex with at most
+// `degeneracy` later neighbors). The ordering is recomputed from the
+// current graph.
+func (m *Maintainer) Degeneracy() (int32, []int32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cores, order := bz.Decompose(m.g)
+	return bz.MaxCore(cores), order
+}
+
+// KCoreVertices returns the vertices of the k-core: all v with core(v) >= k,
+// in ascending id order. O(n) over maintained values — no recomputation.
+func (m *Maintainer) KCoreVertices(k int32) []int32 {
+	var out []int32
+	for v, c := range m.CoreNumbers() {
+		if c >= k {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// KCoreSubgraph extracts the k-core as a standalone graph plus the mapping
+// from new ids to original vertex ids. Vertices outside the k-core are
+// dropped; edges are kept iff both endpoints survive.
+func (m *Maintainer) KCoreSubgraph(k int32) (*graph.Graph, []int32) {
+	members := m.KCoreVertices(k)
+	back := make(map[int32]int32, len(members))
+	for i, v := range members {
+		back[v] = int32(i)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var edges []graph.Edge
+	for _, v := range members {
+		nv := back[v]
+		for _, w := range m.g.Adj(v) {
+			if nw, ok := back[w]; ok && nv < nw {
+				edges = append(edges, graph.Edge{U: nv, V: nw})
+			}
+		}
+	}
+	return graph.FromEdges(len(members), edges), members
+}
+
+// CoreLevels returns the non-empty core values in ascending order — the
+// levels of the k-core hierarchy.
+func (m *Maintainer) CoreLevels() []int32 {
+	seen := map[int32]bool{}
+	for _, c := range m.CoreNumbers() {
+		seen[c] = true
+	}
+	out := make([]int32, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TopCoreVertices returns the vertices of the innermost (maximum) core —
+// the densest region, where the paper's motivating applications look for
+// super-spreaders.
+func (m *Maintainer) TopCoreVertices() []int32 {
+	return m.KCoreVertices(m.MaxCore())
+}
+
+// RemoveVertex removes every edge incident to v as one maintenance batch
+// (the paper notes vertex deletions reduce to edge-removal sequences,
+// §3.2). The vertex itself remains in the graph as an isolated, core-0
+// vertex. Returns the batch result.
+func (m *Maintainer) RemoveVertex(v int32) BatchResult {
+	m.mu.Lock()
+	adj := append([]int32(nil), m.g.Adj(v)...)
+	m.mu.Unlock()
+	batch := make([]graph.Edge, 0, len(adj))
+	for _, w := range adj {
+		batch = append(batch, graph.Edge{U: v, V: w})
+	}
+	return m.RemoveEdges(batch)
+}

@@ -1,0 +1,141 @@
+package kcore
+
+import (
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+// triangle + pendant: cores [2 2 2 1].
+func fixtureGraph() *graph.Graph {
+	return graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0},
+	})
+}
+
+func TestDegeneracy(t *testing.T) {
+	m := New(fixtureGraph())
+	d, order := m.Degeneracy()
+	if d != 2 {
+		t.Fatalf("degeneracy = %d, want 2", d)
+	}
+	if len(order) != 4 || order[0] != 3 {
+		t.Fatalf("ordering %v must peel the pendant first", order)
+	}
+	// Validity: every vertex has at most d later neighbors.
+	pos := map[int32]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	g := m.Graph()
+	for v := int32(0); v < int32(g.N()); v++ {
+		later := int32(0)
+		for _, w := range g.Adj(v) {
+			if pos[v] < pos[w] {
+				later++
+			}
+		}
+		if later > d {
+			t.Fatalf("vertex %d has %d later neighbors > degeneracy %d", v, later, d)
+		}
+	}
+}
+
+func TestKCoreVertices(t *testing.T) {
+	m := New(fixtureGraph())
+	if got := m.KCoreVertices(2); len(got) != 3 {
+		t.Fatalf("2-core = %v", got)
+	}
+	if got := m.KCoreVertices(1); len(got) != 4 {
+		t.Fatalf("1-core = %v", got)
+	}
+	if got := m.KCoreVertices(3); got != nil {
+		t.Fatalf("3-core must be empty, got %v", got)
+	}
+}
+
+func TestKCoreSubgraph(t *testing.T) {
+	m := New(fixtureGraph())
+	sub, members := m.KCoreSubgraph(2)
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("2-core subgraph n=%d m=%d, want triangle", sub.N(), sub.M())
+	}
+	if len(members) != 3 {
+		t.Fatalf("members %v", members)
+	}
+	for _, v := range members {
+		if v == 3 {
+			t.Fatal("pendant must not be in the 2-core")
+		}
+	}
+	// The extracted subgraph must itself be a k-core: min degree >= 2.
+	for v := int32(0); v < int32(sub.N()); v++ {
+		if sub.Degree(v) < 2 {
+			t.Fatalf("subgraph vertex %d has degree %d", v, sub.Degree(v))
+		}
+	}
+	if err := sub.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKCoreSubgraphTracksMaintenance(t *testing.T) {
+	base := gen.ErdosRenyi(200, 800, 3)
+	m := New(base.Clone(), WithWorkers(4))
+	m.InsertEdges(gen.SampleNonEdges(base, 100, 4))
+	k := m.MaxCore()
+	sub, members := m.KCoreSubgraph(k)
+	// Every member's core within the subgraph is at least k.
+	subCores := Decompose(sub)
+	for i := range members {
+		if subCores[i] < k {
+			t.Fatalf("member %d has core %d < %d inside the extracted %d-core",
+				members[i], subCores[i], k, k)
+		}
+	}
+}
+
+func TestCoreLevelsAndTopCore(t *testing.T) {
+	m := New(fixtureGraph())
+	levels := m.CoreLevels()
+	if len(levels) != 2 || levels[0] != 1 || levels[1] != 2 {
+		t.Fatalf("levels %v", levels)
+	}
+	top := m.TopCoreVertices()
+	if len(top) != 3 {
+		t.Fatalf("top core %v", top)
+	}
+}
+
+func TestRemoveVertex(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		m := New(fixtureGraph(), WithAlgorithm(alg), WithWorkers(2))
+		res := m.RemoveVertex(0) // hub of the triangle + pendant
+		if res.Applied != 3 {
+			t.Fatalf("%v: applied %d, want 3", alg, res.Applied)
+		}
+		if m.CoreOf(0) != 0 {
+			t.Fatalf("%v: removed vertex core = %d", alg, m.CoreOf(0))
+		}
+		if m.CoreOf(3) != 0 {
+			t.Fatalf("%v: pendant core = %d after hub removal", alg, m.CoreOf(3))
+		}
+		if m.CoreOf(1) != 1 || m.CoreOf(2) != 1 {
+			t.Fatalf("%v: remaining edge must keep cores 1", alg)
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+}
+
+func TestRemoveIsolatedVertexNoop(t *testing.T) {
+	m := New(fixtureGraph())
+	if res := m.RemoveVertex(3); res.Applied != 1 {
+		t.Fatalf("pendant removal applied %d", res.Applied)
+	}
+	if res := m.RemoveVertex(3); res.Applied != 0 {
+		t.Fatal("second removal must be a no-op")
+	}
+}

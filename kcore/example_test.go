@@ -1,0 +1,63 @@
+package kcore_test
+
+import (
+	"fmt"
+
+	"repro/graph"
+	"repro/kcore"
+)
+
+// Building a maintainer and applying single-edge updates.
+func ExampleNew() {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	m := kcore.New(g)
+	fmt.Println(m.CoreNumbers())
+	m.InsertEdge(0, 2) // close the triangle
+	fmt.Println(m.CoreNumbers())
+	// Output:
+	// [1 1 1]
+	// [2 2 2]
+}
+
+// Batches are the unit of parallelism: with WithWorkers(n), n goroutines
+// process the batch concurrently under the Parallel-Order protocol.
+func ExampleMaintainer_InsertEdges() {
+	m := kcore.New(graph.New(4), kcore.WithWorkers(2))
+	res := m.InsertEdges([]graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 0, V: 3}, {U: 1, V: 3}, {U: 2, V: 3}, // K4
+	})
+	fmt.Println(res.Applied, m.MaxCore())
+	// Output: 6 3
+}
+
+// Extracting the densest region after maintenance.
+func ExampleMaintainer_KCoreSubgraph() {
+	g := graph.FromEdges(5, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle
+		{U: 3, V: 0}, {U: 4, V: 3}, // tail
+	})
+	m := kcore.New(g)
+	sub, members := m.KCoreSubgraph(2)
+	fmt.Println(sub.N(), sub.M(), members)
+	// Output: 3 3 [0 1 2]
+}
+
+// Removing a vertex is a batch removal of its incident edges (§3.2).
+func ExampleMaintainer_RemoveVertex() {
+	g := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0},
+	})
+	m := kcore.New(g)
+	res := m.RemoveVertex(0)
+	fmt.Println(res.Applied, m.CoreNumbers())
+	// Output: 3 [0 1 1 0]
+}
+
+// Choosing a different maintenance engine.
+func ExampleWithAlgorithm() {
+	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	m := kcore.New(g, kcore.WithAlgorithm(kcore.Traversal))
+	fmt.Println(m.Algorithm(), m.MaxCore())
+	// Output: Traversal 2
+}

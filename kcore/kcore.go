@@ -1,0 +1,310 @@
+// Package kcore is the public API of this repository: core-number
+// maintenance for dynamic graphs, reproducing "Parallel Order-Based Core
+// Maintenance in Dynamic Graphs" (Guo & Sekerinski).
+//
+// The core number of a vertex is the largest k such that the vertex belongs
+// to a subgraph in which every vertex has degree at least k. A Maintainer
+// tracks the core numbers of a dynamic graph as batches of edges are
+// inserted and removed, without recomputing from scratch.
+//
+// Quick start:
+//
+//	g := gen.ErdosRenyi(100_000, 800_000, 1)
+//	m := kcore.New(g, kcore.WithWorkers(8))
+//	m.InsertEdges(batch)          // batch of graph.Edge
+//	k := m.CoreOf(42)
+//
+// Four maintenance engines are available (see Algorithm):
+//
+//   - ParallelOrder (default) — the paper's contribution: per-vertex CAS
+//     locks, a concurrent order-maintenance structure for the k-order, and
+//     per-worker priority queues; parallelism is independent of the core
+//     number distribution.
+//   - SequentialOrder — the Simplified-Order algorithm, one edge at a time.
+//   - Traversal — the classic subcore-DFS algorithm, one edge at a time.
+//   - JoinEdgeSet — the JEI/JER baseline: batch preprocessing plus
+//     level-parallel Traversal.
+//
+// A Maintainer serializes its batches internally: insertions and removals
+// never overlap, matching the algorithms' requirements.
+package kcore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/internal/core"
+	"repro/internal/jes"
+	"repro/internal/pcore"
+	"repro/internal/traversal"
+)
+
+// Algorithm selects the maintenance engine.
+type Algorithm int
+
+const (
+	// ParallelOrder is the paper's Parallel-Order algorithm (default).
+	ParallelOrder Algorithm = iota
+	// SequentialOrder is the sequential Simplified-Order algorithm.
+	SequentialOrder
+	// Traversal is the sequential subcore-traversal algorithm.
+	Traversal
+	// JoinEdgeSet is the JEI/JER baseline (level-parallel Traversal).
+	JoinEdgeSet
+)
+
+// String returns the algorithm's name as used in the paper's plots.
+func (a Algorithm) String() string {
+	switch a {
+	case ParallelOrder:
+		return "ParallelOrder"
+	case SequentialOrder:
+		return "SequentialOrder"
+	case Traversal:
+		return "Traversal"
+	case JoinEdgeSet:
+		return "JoinEdgeSet"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Option configures a Maintainer.
+type Option func(*config)
+
+type config struct {
+	alg     Algorithm
+	workers int
+}
+
+// WithAlgorithm selects the maintenance engine; the default is
+// ParallelOrder.
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
+
+// WithWorkers sets the number of worker goroutines used by the parallel
+// engines (ParallelOrder, JoinEdgeSet). Sequential engines ignore it.
+// The default is 1.
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// BatchResult reports the outcome of one batch.
+type BatchResult struct {
+	// Applied counts the edges that changed the graph (duplicates,
+	// self-loops and absent removals are skipped).
+	Applied int
+	// ChangedVertices is Σ|V*|: how many core-number updates the batch
+	// caused in total.
+	ChangedVertices int
+	// VPlusSizes holds per-edge |V+| (insertions with the Order engines)
+	// or |V*| (removals) — the data behind the paper's Fig. 1 histogram.
+	// Nil for the Traversal/JoinEdgeSet engines.
+	VPlusSizes []int
+	// Duration is the wall-clock time of the batch.
+	Duration time.Duration
+	// Contention reports the parallel engine's synchronization counters
+	// (zero value for the other engines): how often conditional locks
+	// aborted, priority queues rebuilt their label snapshots, and removal
+	// propagations re-ran — the observable footprint of the paper's
+	// blocking-chain analysis (§4).
+	Contention Contention
+}
+
+// Contention is the set of synchronization counters of one ParallelOrder
+// batch; see BatchResult.Contention.
+type Contention struct {
+	LockAborts    int64 // conditional locks abandoned on a core change
+	QueueRebuilds int64 // priority-queue label re-snapshots (Algorithm 9)
+	RemovalRedos  int64 // removal propagation redo rounds (Algorithm 8)
+	Evictions     int64 // Backward repositionings
+}
+
+// Maintainer tracks core numbers of one dynamic graph. Create it with New;
+// all methods are safe for concurrent use (batches serialize internally).
+type Maintainer struct {
+	mu  sync.Mutex
+	cfg config
+	g   *graph.Graph
+	ost *core.State      // order-based engines
+	tst *traversal.State // traversal-based engines
+}
+
+// New builds a Maintainer over g, computing the initial core decomposition
+// (and, for the order-based engines, the initial k-order) with the BZ
+// algorithm. The Maintainer owns g afterwards: mutate the graph only
+// through InsertEdges/RemoveEdges.
+func New(g *graph.Graph, opts ...Option) *Maintainer {
+	cfg := config{alg: ParallelOrder, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	m := &Maintainer{cfg: cfg, g: g}
+	switch cfg.alg {
+	case Traversal, JoinEdgeSet:
+		m.tst = traversal.NewState(g)
+	default:
+		m.ost = core.NewState(g)
+	}
+	return m
+}
+
+// Graph returns the underlying graph. Treat it as read-only.
+func (m *Maintainer) Graph() *graph.Graph { return m.g }
+
+// Algorithm returns the engine this Maintainer runs.
+func (m *Maintainer) Algorithm() Algorithm { return m.cfg.alg }
+
+// Workers returns the configured worker count.
+func (m *Maintainer) Workers() int { return m.cfg.workers }
+
+// CoreOf returns the current core number of v.
+func (m *Maintainer) CoreOf(v int32) int32 {
+	if m.tst != nil {
+		return m.tst.CoreOf(v)
+	}
+	return m.ost.CoreOf(v)
+}
+
+// CoreNumbers returns a snapshot of all core numbers.
+func (m *Maintainer) CoreNumbers() []int32 {
+	if m.tst != nil {
+		return m.tst.CoreNumbers()
+	}
+	return m.ost.CoreNumbers()
+}
+
+// MaxCore returns the largest current core number.
+func (m *Maintainer) MaxCore() int32 { return bz.MaxCore(m.CoreNumbers()) }
+
+// CoreHistogram returns the number of vertices per core value.
+func (m *Maintainer) CoreHistogram() []int64 { return bz.CoreHistogram(m.CoreNumbers()) }
+
+// InsertEdge inserts a single edge; shorthand for a one-edge batch.
+func (m *Maintainer) InsertEdge(u, v int32) BatchResult {
+	return m.InsertEdges([]graph.Edge{{U: u, V: v}})
+}
+
+// RemoveEdge removes a single edge; shorthand for a one-edge batch.
+func (m *Maintainer) RemoveEdge(u, v int32) BatchResult {
+	return m.RemoveEdges([]graph.Edge{{U: u, V: v}})
+}
+
+// InsertEdges inserts a batch of edges and updates every core number.
+// Self-loops and already-present edges are skipped.
+func (m *Maintainer) InsertEdges(edges []graph.Edge) BatchResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	var res BatchResult
+	switch m.cfg.alg {
+	case ParallelOrder:
+		stats, snap := pcore.InsertEdgesMetered(m.ost, edges, m.cfg.workers, nil)
+		res.Contention = contentionFrom(snap)
+		res.VPlusSizes = make([]int, 0, len(stats))
+		for _, s := range stats {
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+			}
+		}
+	case SequentialOrder:
+		res.VPlusSizes = make([]int, 0, len(edges))
+		for _, e := range edges {
+			s := m.ost.InsertEdgeSeq(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+			}
+		}
+	case Traversal:
+		for _, e := range edges {
+			s := m.tst.InsertEdge(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+			}
+		}
+	case JoinEdgeSet:
+		s := jes.InsertEdges(m.tst, edges, m.cfg.workers)
+		res.Applied = s.Applied
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// RemoveEdges removes a batch of edges and updates every core number.
+// Self-loops and absent edges are skipped.
+func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	var res BatchResult
+	switch m.cfg.alg {
+	case ParallelOrder:
+		stats, snap := pcore.RemoveEdgesMetered(m.ost, edges, m.cfg.workers, nil)
+		res.Contention = contentionFrom(snap)
+		res.VPlusSizes = make([]int, 0, len(stats))
+		for _, s := range stats {
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
+			}
+		}
+	case SequentialOrder:
+		res.VPlusSizes = make([]int, 0, len(edges))
+		for _, e := range edges {
+			s := m.ost.RemoveEdgeSeq(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
+			}
+		}
+	case Traversal:
+		for _, e := range edges {
+			s := m.tst.RemoveEdge(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+			}
+		}
+	case JoinEdgeSet:
+		s := jes.RemoveEdges(m.tst, edges, m.cfg.workers)
+		res.Applied = s.Applied
+	}
+	res.Duration = time.Since(start)
+	return res
+}
+
+// Check verifies every internal invariant of the maintainer against a fresh
+// core decomposition. It is O(n + m) and intended for tests and debugging.
+func (m *Maintainer) Check() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.tst != nil {
+		return m.tst.CheckInvariants()
+	}
+	return m.ost.CheckInvariants()
+}
+
+func contentionFrom(s pcore.MetricsSnapshot) Contention {
+	return Contention{
+		LockAborts:    s.LockAborts,
+		QueueRebuilds: s.QueueRebuilds,
+		RemovalRedos:  s.RemovalRedos,
+		Evictions:     s.Evictions,
+	}
+}
+
+// Decompose computes core numbers from scratch with the linear-time BZ
+// algorithm — the static building block, usable without a Maintainer.
+func Decompose(g *graph.Graph) []int32 {
+	cores, _ := bz.Decompose(g)
+	return cores
+}

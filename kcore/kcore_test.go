@@ -1,0 +1,150 @@
+package kcore
+
+import (
+	"sync"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+var allAlgorithms = []Algorithm{ParallelOrder, SequentialOrder, Traversal, JoinEdgeSet}
+
+func TestAllEnginesAgreeWithDecompose(t *testing.T) {
+	base := gen.ErdosRenyi(200, 700, 1)
+	ins := gen.SampleNonEdges(base, 100, 2)
+	for _, alg := range allAlgorithms {
+		m := New(base.Clone(), WithAlgorithm(alg), WithWorkers(4))
+		res := m.InsertEdges(ins)
+		if res.Applied != len(ins) {
+			t.Fatalf("%v: applied %d of %d", alg, res.Applied, len(ins))
+		}
+		if err := m.Check(); err != nil {
+			t.Fatalf("%v after insert: %v", alg, err)
+		}
+		rem := gen.SampleEdges(m.Graph(), 100, 3)
+		m.RemoveEdges(rem)
+		if err := m.Check(); err != nil {
+			t.Fatalf("%v after remove: %v", alg, err)
+		}
+		truth := Decompose(m.Graph())
+		for v, want := range truth {
+			if got := m.CoreOf(int32(v)); got != want {
+				t.Fatalf("%v: core[%d] = %d, want %d", alg, v, got, want)
+			}
+		}
+	}
+}
+
+func TestEnginesAgreeWithEachOther(t *testing.T) {
+	base := gen.BarabasiAlbert(150, 3, 5)
+	ins := gen.SampleNonEdges(base, 80, 6)
+	var reference []int32
+	for i, alg := range allAlgorithms {
+		m := New(base.Clone(), WithAlgorithm(alg), WithWorkers(3))
+		m.InsertEdges(ins)
+		cores := m.CoreNumbers()
+		if i == 0 {
+			reference = cores
+			continue
+		}
+		for v := range cores {
+			if cores[v] != reference[v] {
+				t.Fatalf("%v disagrees with %v at vertex %d", alg, allAlgorithms[0], v)
+			}
+		}
+	}
+}
+
+func TestSingleEdgeHelpers(t *testing.T) {
+	m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	res := m.InsertEdge(0, 2)
+	if !(res.Applied == 1 && m.CoreOf(0) == 2) {
+		t.Fatalf("InsertEdge: %+v core=%d", res, m.CoreOf(0))
+	}
+	res = m.RemoveEdge(0, 2)
+	if !(res.Applied == 1 && m.CoreOf(0) == 1) {
+		t.Fatalf("RemoveEdge: %+v core=%d", res, m.CoreOf(0))
+	}
+	if m.InsertEdge(1, 1).Applied != 0 {
+		t.Fatal("self-loop applied")
+	}
+	if m.RemoveEdge(0, 2).Applied != 0 {
+		t.Fatal("absent removal applied")
+	}
+}
+
+func TestHistogramAndMaxCore(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	m := New(g)
+	if m.MaxCore() != 2 {
+		t.Fatalf("MaxCore = %d", m.MaxCore())
+	}
+	h := m.CoreHistogram()
+	if h[2] != 3 || h[0] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestVPlusSizesReported(t *testing.T) {
+	base := gen.ErdosRenyi(100, 300, 7)
+	ins := gen.SampleNonEdges(base, 50, 8)
+	for _, alg := range []Algorithm{ParallelOrder, SequentialOrder} {
+		m := New(base.Clone(), WithAlgorithm(alg), WithWorkers(2))
+		res := m.InsertEdges(ins)
+		if len(res.VPlusSizes) != res.Applied {
+			t.Fatalf("%v: %d sizes for %d applied", alg, len(res.VPlusSizes), res.Applied)
+		}
+	}
+	m := New(base.Clone(), WithAlgorithm(Traversal))
+	if res := m.InsertEdges(ins); res.VPlusSizes != nil {
+		t.Fatal("Traversal must not report V+ sizes")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	m := New(graph.New(3))
+	if m.Algorithm() != ParallelOrder || m.Workers() != 1 {
+		t.Fatalf("defaults: %v %d", m.Algorithm(), m.Workers())
+	}
+	m = New(graph.New(3), WithWorkers(-5))
+	if m.Workers() != 1 {
+		t.Fatalf("negative workers must clamp to 1, got %d", m.Workers())
+	}
+	if got := ParallelOrder.String(); got != "ParallelOrder" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := Algorithm(42).String(); got != "Algorithm(42)" {
+		t.Fatalf("String: %q", got)
+	}
+}
+
+// Concurrent callers: batches must serialize, final state must be coherent.
+func TestConcurrentBatchesSerialize(t *testing.T) {
+	base := gen.ErdosRenyi(150, 450, 9)
+	m := New(base.Clone(), WithWorkers(4))
+	ins := gen.SampleNonEdges(base, 120, 10)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m.InsertEdges(ins[i*30 : (i+1)*30])
+		}(i)
+	}
+	wg.Wait()
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeStandalone(t *testing.T) {
+	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	cores := Decompose(g)
+	want := []int32{2, 2, 2, 1}
+	for v := range want {
+		if cores[v] != want[v] {
+			t.Fatalf("core[%d] = %d, want %d", v, cores[v], want[v])
+		}
+	}
+}
