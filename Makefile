@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench loadserve
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+loadserve:
+	$(GO) run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 -batch 64 -d 5s -check

@@ -17,6 +17,7 @@ package repro
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/gen"
@@ -279,6 +280,100 @@ func BenchmarkAblationEagerVsLazyMCD(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ------------------------------------------------------------- serving layer
+
+// BenchmarkServeMixed measures the serving read path while update batches
+// are continuously in flight: one background writer cycles insert/remove
+// batches through the update pipeline, and parallel readers issue CoreOf
+// queries against the published snapshots. Before the serving refactor a
+// read had to wait for the writer's mutex, serializing queries behind
+// multi-millisecond batches; now every read completes while the batch is
+// in flight, so per-op time stays in nanoseconds.
+func BenchmarkServeMixed(b *testing.B) {
+	base := gen.ErdosRenyi(20_000, 80_000, benchSeed)
+	pool := gen.SampleNonEdges(base, 2_000, benchSeed+1)
+	n := int32(base.N())
+	m := kcore.New(base, kcore.WithWorkers(4))
+	defer m.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var batches int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.InsertEdges(pool)
+			m.RemoveEdges(pool)
+			batches += 2
+		}
+	}()
+
+	b.Run("CoreOf", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			v := uint32(1)
+			for pb.Next() {
+				v = v*1664525 + 1013904223 // per-goroutine LCG
+				m.CoreOf(int32(v % uint32(n)))
+			}
+		})
+	})
+	b.Run("Snapshot+CoreOf", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			v := uint32(1)
+			for pb.Next() {
+				s := m.Snapshot()
+				v = v*1664525 + 1013904223
+				s.CoreOf(int32(v % uint32(n)))
+			}
+		})
+	})
+	b.Run("MaxCore", func(b *testing.B) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				m.MaxCore()
+			}
+		})
+	})
+	close(stop)
+	wg.Wait()
+	if batches == 0 {
+		b.Fatal("writer applied no batches while readers ran")
+	}
+	b.ReportMetric(float64(batches), "writer-batches")
+}
+
+// BenchmarkServeSingleEdgeWriters measures pipeline coalescing: parallel
+// writers each push single-edge insert/remove pairs, the applier folds
+// whatever is pending into shared engine rounds. The coalesced ops/batch
+// ratio is reported as a custom metric.
+func BenchmarkServeSingleEdgeWriters(b *testing.B) {
+	base := gen.ErdosRenyi(20_000, 80_000, benchSeed)
+	pool := gen.SampleNonEdges(base, 4_096, benchSeed+2)
+	m := kcore.New(base, kcore.WithWorkers(4))
+	defer m.Close()
+	before := m.ServingStats()
+	var next int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			e := pool[int(atomic.AddInt64(&next, 1))%len(pool)]
+			m.InsertEdge(e.U, e.V)
+			m.RemoveEdge(e.U, e.V)
+		}
+	})
+	b.StopTimer()
+	st := m.ServingStats()
+	if db := st.Batches - before.Batches; db > 0 {
+		b.ReportMetric(float64(st.BatchedOps-before.BatchedOps)/float64(db), "ops/batch")
+	}
 }
 
 // BenchmarkWorkerScaling measures the Parallel-Order batch across worker

@@ -1,0 +1,152 @@
+// Command loadserve is a closed-loop load generator for the serving layer:
+// R reader goroutines issue point queries (CoreOf, with periodic MaxCore /
+// histogram scans) against the latest snapshot while W writer goroutines
+// push insert/remove batches through the coalescing update pipeline. At
+// the end it prints throughput and latency percentiles for both sides plus
+// the pipeline's instrumentation counters.
+//
+// Example:
+//
+//	go run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 \
+//	    -batch 64 -alg parallel -workers 4 -d 5s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/gen"
+	"repro/internal/stats"
+	"repro/kcore"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 50_000, "vertices in the base graph")
+		m        = flag.Int64("m", 200_000, "edges in the base graph")
+		readers  = flag.Int("readers", 8, "concurrent query goroutines")
+		writers  = flag.Int("writers", 2, "concurrent update goroutines")
+		batch    = flag.Int("batch", 64, "edges per writer batch (1 = single-edge ops)")
+		algName  = flag.String("alg", "parallel", "engine: parallel|seq|traversal|jes")
+		workers  = flag.Int("workers", 4, "engine worker goroutines")
+		duration = flag.Duration("d", 5*time.Second, "run duration")
+		seed     = flag.Int64("seed", 1, "random seed")
+		check    = flag.Bool("check", false, "verify invariants after the run")
+	)
+	flag.Parse()
+
+	var alg kcore.Algorithm
+	switch *algName {
+	case "parallel":
+		alg = kcore.ParallelOrder
+	case "seq":
+		alg = kcore.SequentialOrder
+	case "traversal":
+		alg = kcore.Traversal
+	case "jes":
+		alg = kcore.JoinEdgeSet
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -alg %q\n", *algName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("building G(n=%d, m=%d), engine %v, workers=%d ...\n", *n, *m, alg, *workers)
+	base := gen.ErdosRenyi(*n, *m, *seed)
+	// Disjoint per-writer edge pools: each writer cycles insert/remove over
+	// its own slice, so the graph stays bounded while every batch does
+	// real maintenance work.
+	pool := gen.SampleNonEdges(base, *writers**batch*8, *seed+1)
+	maint := kcore.New(base, kcore.WithAlgorithm(alg), kcore.WithWorkers(*workers))
+	defer maint.Close()
+
+	var (
+		stop      atomic.Bool
+		readOps   atomic.Int64
+		writeOps  atomic.Int64 // caller ops (batches issued)
+		writeEdge atomic.Int64 // edges covered by those ops
+		readLat   = stats.NewLatencyRecorder(1 << 16)
+		wg        sync.WaitGroup
+	)
+
+	for r := 0; r < *readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 100 + int64(r)))
+			nv := int32(*n)
+			for i := 0; !stop.Load(); i++ {
+				start := time.Now()
+				switch {
+				case i%4096 == 4095:
+					maint.CoreHistogram()
+				case i%1024 == 1023:
+					maint.MaxCore()
+				default:
+					maint.CoreOf(rng.Int31n(nv))
+				}
+				if i%16 == 0 {
+					readLat.Record(time.Since(start))
+				}
+				readOps.Add(1)
+			}
+		}(r)
+	}
+
+	perWriter := len(pool) / max(*writers, 1)
+	for w := 0; w < *writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := pool[w*perWriter : (w+1)*perWriter]
+			for off := 0; !stop.Load(); off += *batch {
+				if off+*batch > len(mine) {
+					off = 0
+				}
+				chunk := mine[off : off+*batch]
+				maint.InsertEdges(chunk)
+				writeOps.Add(1)
+				writeEdge.Add(int64(len(chunk)))
+				if stop.Load() {
+					return
+				}
+				maint.RemoveEdges(chunk)
+				writeOps.Add(1)
+				writeEdge.Add(int64(len(chunk)))
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	epoch := maint.Flush()
+
+	st := maint.ServingStats()
+	secs := elapsed.Seconds()
+	fmt.Printf("\nran %.2fs: readers=%d writers=%d batch=%d\n", secs, *readers, *writers, *batch)
+	fmt.Printf("reads : %10d ops  %12.0f ops/s  latency(ms) %s\n",
+		readOps.Load(), float64(readOps.Load())/secs, readLat.Percentiles())
+	fmt.Printf("writes: %10d ops  %12.0f ops/s  (%d edges)  latency(ms) %s\n",
+		writeOps.Load(), float64(writeOps.Load())/secs, writeEdge.Load(), st.UpdateLatency)
+	opsPerBatch := 0.0
+	if st.Batches > 0 {
+		opsPerBatch = float64(st.BatchedOps) / float64(st.Batches)
+	}
+	fmt.Printf("pipeline: batches=%d ops/batch=%.2f canceled=%d flushes=%d queue=%d epoch=%d\n",
+		st.Batches, opsPerBatch, st.CanceledOps, st.Flushes, st.QueueDepth, epoch)
+
+	if *check {
+		if err := maint.Check(); err != nil {
+			log.Fatalf("invariant check failed: %v", err)
+		}
+		fmt.Println("invariants: ok")
+	}
+}

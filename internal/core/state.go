@@ -15,6 +15,7 @@ import (
 	"repro/graph"
 	"repro/internal/bz"
 	"repro/internal/om"
+	"repro/internal/snapshot"
 	"repro/internal/spin"
 )
 
@@ -57,6 +58,8 @@ type State struct {
 
 	mu    sync.Mutex   // guards list growth
 	lists atomic.Value // []*om.List, one per core number
+
+	pub snapshot.Publisher // epoch-versioned read snapshots
 }
 
 // NewState initializes the state from g: core numbers and the initial
@@ -104,8 +107,28 @@ func NewState(g *graph.Graph) *State {
 	for _, v := range order {
 		lists[cores[v]].InsertAtTail(&st.Items[v])
 	}
+	st.PublishSnapshot()
 	return st
 }
+
+// PublishSnapshot builds an epoch-versioned immutable view of the current
+// core numbers and installs it as the state's read snapshot. It must run at
+// quiescence (between batches); queries served from the snapshot then never
+// observe in-flight batch mutation.
+func (st *State) PublishSnapshot() *snapshot.View {
+	return st.pub.Publish(st.CoreNumbers(), st.G.M())
+}
+
+// PublishSnapshotUnchanged advances the snapshot epoch in O(1), reusing
+// the previous view's core data; only valid when no core number changed
+// since the last publication (the graph's edge count may have).
+func (st *State) PublishSnapshotUnchanged() *snapshot.View {
+	return st.pub.PublishUnchanged(st.G.M())
+}
+
+// Snapshot returns the most recently published view. Never nil: NewState
+// publishes the initial decomposition.
+func (st *State) Snapshot() *snapshot.View { return st.pub.Current() }
 
 // N returns the number of vertices.
 func (st *State) N() int { return len(st.Core) }

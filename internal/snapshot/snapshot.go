@@ -1,0 +1,76 @@
+// Package snapshot provides epoch-versioned immutable views of a core
+// decomposition. The serving layer publishes a View at batch quiescence;
+// queries load the current View through an atomic pointer and never touch
+// live engine state, so reads are lock-free and never block behind an
+// in-flight batch.
+package snapshot
+
+import (
+	"sync/atomic"
+
+	"repro/internal/bz"
+)
+
+// View is one immutable snapshot of a core decomposition. All fields are
+// written once, before the View is published; readers must treat the
+// slices as read-only.
+type View struct {
+	// Epoch increases by one with every published View; it never repeats
+	// or decreases for a given Publisher.
+	Epoch uint64
+	// Cores[v] is the core number of v at publication time.
+	Cores []int32
+	// MaxCore is the largest value in Cores.
+	MaxCore int32
+	// Hist[k] counts the vertices with core number k.
+	Hist []int64
+	// N and M are the vertex and edge counts at publication time.
+	N int
+	M int64
+}
+
+// Publisher owns the current View of one maintained graph. The zero value
+// is ready to use; Current returns nil until the first Publish.
+type Publisher struct {
+	cur   atomic.Pointer[View]
+	epoch atomic.Uint64
+}
+
+// Publish derives the aggregate fields from cores, stamps the next epoch,
+// and installs the View as current. Publish must only run at quiescence
+// (no concurrent engine mutation); it takes ownership of cores.
+func (p *Publisher) Publish(cores []int32, m int64) *View {
+	v := &View{
+		Epoch:   p.epoch.Add(1),
+		Cores:   cores,
+		MaxCore: bz.MaxCore(cores),
+		Hist:    bz.CoreHistogram(cores),
+		N:       len(cores),
+		M:       m,
+	}
+	p.cur.Store(v)
+	return v
+}
+
+// PublishUnchanged installs a fresh View that reuses the current View's
+// core arrays and aggregates, updating only the epoch and edge count — an
+// O(1) publication for batches that changed no core number. The caller
+// must guarantee no core number changed since the last Publish; must only
+// run at quiescence, after at least one Publish.
+func (p *Publisher) PublishUnchanged(m int64) *View {
+	old := p.cur.Load()
+	v := &View{
+		Epoch:   p.epoch.Add(1),
+		Cores:   old.Cores,
+		MaxCore: old.MaxCore,
+		Hist:    old.Hist,
+		N:       old.N,
+		M:       m,
+	}
+	p.cur.Store(v)
+	return v
+}
+
+// Current returns the most recently published View, or nil before the
+// first Publish. Safe for concurrent use.
+func (p *Publisher) Current() *View { return p.cur.Load() }

@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPublishDerivesAggregates(t *testing.T) {
+	var p Publisher
+	if p.Current() != nil {
+		t.Fatal("zero publisher must have no view")
+	}
+	v := p.Publish([]int32{2, 2, 2, 1, 0}, 4)
+	if v.Epoch != 1 || v.N != 5 || v.M != 4 || v.MaxCore != 2 {
+		t.Fatalf("view %+v", v)
+	}
+	if v.Hist[2] != 3 || v.Hist[1] != 1 || v.Hist[0] != 1 {
+		t.Fatalf("hist %v", v.Hist)
+	}
+	if p.Current() != v {
+		t.Fatal("Current must return the published view")
+	}
+	v2 := p.Publish([]int32{1, 1}, 1)
+	if v2.Epoch != 2 {
+		t.Fatalf("epoch = %d, want 2", v2.Epoch)
+	}
+}
+
+func TestEpochsNeverRepeat(t *testing.T) {
+	var p Publisher
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := p.Publish([]int32{0}, 0)
+				mu.Lock()
+				if seen[v.Epoch] {
+					mu.Unlock()
+					panic("epoch repeated")
+				}
+				seen[v.Epoch] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 400 {
+		t.Fatalf("%d distinct epochs, want 400", len(seen))
+	}
+}

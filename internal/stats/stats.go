@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -135,4 +136,124 @@ func (h *Histogram) Fraction(i int) float64 {
 		return 0
 	}
 	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs with linear
+// interpolation between order statistics. xs need not be sorted; an empty
+// sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Percentiles summarizes the tail of a latency sample. Values carry the
+// unit of the sample (the serving layer records milliseconds).
+type Percentiles struct {
+	N             int
+	P50, P90, P99 float64
+	Max           float64
+}
+
+// ComputePercentiles extracts p50/p90/p99/max from xs.
+func ComputePercentiles(xs []float64) Percentiles {
+	if len(xs) == 0 {
+		return Percentiles{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Percentiles{
+		N:   len(sorted),
+		P50: quantileSorted(sorted, 0.50),
+		P90: quantileSorted(sorted, 0.90),
+		P99: quantileSorted(sorted, 0.99),
+		Max: sorted[len(sorted)-1],
+	}
+}
+
+// String renders "p50=… p90=… p99=… max=… (n=…)".
+func (p Percentiles) String() string {
+	if p.N == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("p50=%.3g p90=%.3g p99=%.3g max=%.3g (n=%d)", p.P50, p.P90, p.P99, p.Max, p.N)
+}
+
+// defaultRecorderCap bounds a LatencyRecorder that was not sized explicitly.
+const defaultRecorderCap = 4096
+
+// LatencyRecorder collects latency samples into a bounded ring (the most
+// recent capacity samples survive) and reports tail percentiles. The zero
+// value is ready to use with a default capacity; all methods are safe for
+// concurrent use.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	samples []float64
+	next    int
+	count   int64
+}
+
+// NewLatencyRecorder returns a recorder keeping the last capacity samples.
+func NewLatencyRecorder(capacity int) *LatencyRecorder {
+	if capacity < 1 {
+		capacity = defaultRecorderCap
+	}
+	return &LatencyRecorder{samples: make([]float64, 0, capacity)}
+}
+
+// Record adds one duration sample, stored in milliseconds.
+func (r *LatencyRecorder) Record(d time.Duration) {
+	r.RecordValue(float64(d) / float64(time.Millisecond))
+}
+
+// RecordValue adds one sample in the recorder's unit.
+func (r *LatencyRecorder) RecordValue(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.count++
+	capacity := cap(r.samples)
+	if capacity == 0 {
+		r.samples = make([]float64, 0, defaultRecorderCap)
+		capacity = defaultRecorderCap
+	}
+	if len(r.samples) < capacity {
+		r.samples = append(r.samples, x)
+		return
+	}
+	r.samples[r.next] = x
+	r.next = (r.next + 1) % capacity
+}
+
+// Count returns how many samples were ever recorded (including evicted).
+func (r *LatencyRecorder) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Percentiles summarizes the retained samples.
+func (r *LatencyRecorder) Percentiles() Percentiles {
+	r.mu.Lock()
+	xs := append([]float64(nil), r.samples...)
+	r.mu.Unlock()
+	return ComputePercentiles(xs)
 }

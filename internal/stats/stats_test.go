@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -118,5 +119,73 @@ func TestQuickHistogramConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2, 5} // unsorted on purpose
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Fatalf("median = %g", q)
+	}
+	if q := Quantile(xs, 0.25); q != 2 {
+		t.Fatalf("q25 = %g", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %g", q)
+	}
+}
+
+func TestComputePercentiles(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	p := ComputePercentiles(xs)
+	if p.N != 100 || p.Max != 100 {
+		t.Fatalf("%+v", p)
+	}
+	if p.P50 < 50 || p.P50 > 51 || p.P99 < 99 || p.P99 > 100 {
+		t.Fatalf("%+v", p)
+	}
+	if ComputePercentiles(nil).N != 0 {
+		t.Fatal("empty percentiles must be zero")
+	}
+}
+
+func TestLatencyRecorderRing(t *testing.T) {
+	r := NewLatencyRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.RecordValue(float64(i))
+	}
+	if r.Count() != 10 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	p := r.Percentiles()
+	// Only the last 4 samples (7..10) survive the ring.
+	if p.N != 4 || p.Max != 10 || p.P50 < 7 {
+		t.Fatalf("%+v", p)
+	}
+
+	// Zero value must be usable and concurrency-safe.
+	var z LatencyRecorder
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				z.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if z.Count() != 200 || z.Percentiles().N != 200 {
+		t.Fatalf("zero-value recorder: count=%d %+v", z.Count(), z.Percentiles())
 	}
 }

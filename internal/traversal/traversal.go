@@ -22,6 +22,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/bz"
+	"repro/internal/snapshot"
 )
 
 // State carries the Traversal algorithm's maintenance state: current core
@@ -36,6 +37,8 @@ type State struct {
 	// isolation keeps the SEMANTICS stable; the lock keeps the slice
 	// memory safe.)
 	mu sync.RWMutex
+
+	pub snapshot.Publisher // epoch-versioned read snapshots
 }
 
 // NewState computes the initial core numbers (BZ) and all max-core degrees.
@@ -53,8 +56,27 @@ func NewState(g *graph.Graph) *State {
 	for v := int32(0); v < int32(n); v++ {
 		st.mcd[v].Store(st.computeMCD(v))
 	}
+	st.PublishSnapshot()
 	return st
 }
+
+// PublishSnapshot builds an epoch-versioned immutable view of the current
+// core numbers and installs it as the state's read snapshot. It must run at
+// quiescence (between batches / jes levels).
+func (st *State) PublishSnapshot() *snapshot.View {
+	return st.pub.Publish(st.CoreNumbers(), st.G.M())
+}
+
+// PublishSnapshotUnchanged advances the snapshot epoch in O(1), reusing
+// the previous view's core data; only valid when no core number changed
+// since the last publication (the graph's edge count may have).
+func (st *State) PublishSnapshotUnchanged() *snapshot.View {
+	return st.pub.PublishUnchanged(st.G.M())
+}
+
+// Snapshot returns the most recently published view. Never nil: NewState
+// publishes the initial decomposition.
+func (st *State) Snapshot() *snapshot.View { return st.pub.Current() }
 
 // CoreOf returns the current core number of v.
 func (st *State) CoreOf(v int32) int32 { return st.core[v].Load() }

@@ -10,24 +10,33 @@ import (
 // This file holds the analysis helpers applications build on maintained
 // core numbers (the paper's §1 application list: dense-community
 // monitoring, influential-spreader detection, hierarchy queries).
+// Helpers that only need core numbers read the latest published snapshot;
+// helpers that walk the graph structure run inside a pipeline barrier, at
+// a quiescent point ordered after every earlier update.
 
 // Degeneracy returns the graph's degeneracy — the maximum core number —
 // together with a degeneracy ordering (a peeling order; iterating it and
 // removing vertices left to right leaves each vertex with at most
 // `degeneracy` later neighbors). The ordering is recomputed from the
-// current graph.
+// graph at a quiescent point.
 func (m *Maintainer) Degeneracy() (int32, []int32) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cores, order := bz.Decompose(m.g)
-	return bz.MaxCore(cores), order
+	var (
+		deg   int32
+		order []int32
+	)
+	m.barrier(func() {
+		var cores []int32
+		cores, order = bz.Decompose(m.eng.g)
+		deg = bz.MaxCore(cores)
+	})
+	return deg, order
 }
 
 // KCoreVertices returns the vertices of the k-core: all v with core(v) >= k,
-// in ascending id order. O(n) over maintained values — no recomputation.
+// in ascending id order. O(n) over the latest snapshot — no recomputation.
 func (m *Maintainer) KCoreVertices(k int32) []int32 {
 	var out []int32
-	for v, c := range m.CoreNumbers() {
+	for v, c := range m.view().Cores {
 		if c >= k {
 			out = append(out, int32(v))
 		}
@@ -37,37 +46,42 @@ func (m *Maintainer) KCoreVertices(k int32) []int32 {
 
 // KCoreSubgraph extracts the k-core as a standalone graph plus the mapping
 // from new ids to original vertex ids. Vertices outside the k-core are
-// dropped; edges are kept iff both endpoints survive.
+// dropped; edges are kept iff both endpoints survive. The edges are read
+// at a quiescent point.
 func (m *Maintainer) KCoreSubgraph(k int32) (*graph.Graph, []int32) {
-	members := m.KCoreVertices(k)
-	back := make(map[int32]int32, len(members))
-	for i, v := range members {
-		back[v] = int32(i)
-	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var edges []graph.Edge
-	for _, v := range members {
-		nv := back[v]
-		for _, w := range m.g.Adj(v) {
-			if nw, ok := back[w]; ok && nv < nw {
-				edges = append(edges, graph.Edge{U: nv, V: nw})
+	var (
+		members []int32
+		edges   []graph.Edge
+	)
+	m.barrier(func() {
+		back := make(map[int32]int32)
+		for v, c := range m.eng.view().Cores {
+			if c >= k {
+				back[int32(v)] = int32(len(members))
+				members = append(members, int32(v))
 			}
 		}
-	}
+		for _, v := range members {
+			nv := back[v]
+			for _, w := range m.eng.g.Adj(v) {
+				if nw, ok := back[w]; ok && nv < nw {
+					edges = append(edges, graph.Edge{U: nv, V: nw})
+				}
+			}
+		}
+	})
 	return graph.FromEdges(len(members), edges), members
 }
 
 // CoreLevels returns the non-empty core values in ascending order — the
 // levels of the k-core hierarchy.
 func (m *Maintainer) CoreLevels() []int32 {
-	seen := map[int32]bool{}
-	for _, c := range m.CoreNumbers() {
-		seen[c] = true
-	}
-	out := make([]int32, 0, len(seen))
-	for c := range seen {
-		out = append(out, c)
+	hist := m.view().Hist
+	out := make([]int32, 0, len(hist))
+	for c, n := range hist {
+		if n > 0 {
+			out = append(out, int32(c))
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -77,7 +91,14 @@ func (m *Maintainer) CoreLevels() []int32 {
 // the densest region, where the paper's motivating applications look for
 // super-spreaders.
 func (m *Maintainer) TopCoreVertices() []int32 {
-	return m.KCoreVertices(m.MaxCore())
+	s := m.view()
+	var out []int32
+	for v, c := range s.Cores {
+		if c >= s.MaxCore {
+			out = append(out, int32(v))
+		}
+	}
+	return out
 }
 
 // RemoveVertex removes every edge incident to v as one maintenance batch
@@ -85,9 +106,8 @@ func (m *Maintainer) TopCoreVertices() []int32 {
 // §3.2). The vertex itself remains in the graph as an isolated, core-0
 // vertex. Returns the batch result.
 func (m *Maintainer) RemoveVertex(v int32) BatchResult {
-	m.mu.Lock()
-	adj := append([]int32(nil), m.g.Adj(v)...)
-	m.mu.Unlock()
+	var adj []int32
+	m.barrier(func() { adj = append(adj, m.eng.g.Adj(v)...) })
 	batch := make([]graph.Edge, 0, len(adj))
 	for _, w := range adj {
 		batch = append(batch, graph.Edge{U: v, V: w})

@@ -1,6 +1,7 @@
 // Package kcore is the public API of this repository: core-number
 // maintenance for dynamic graphs, reproducing "Parallel Order-Based Core
-// Maintenance in Dynamic Graphs" (Guo & Sekerinski).
+// Maintenance in Dynamic Graphs" (Guo & Sekerinski), wrapped in a serving
+// layer built for heavy concurrent query traffic.
 //
 // The core number of a vertex is the largest k such that the vertex belongs
 // to a subgraph in which every vertex has degree at least k. A Maintainer
@@ -25,12 +26,28 @@
 //   - JoinEdgeSet — the JEI/JER baseline: batch preprocessing plus
 //     level-parallel Traversal.
 //
-// A Maintainer serializes its batches internally: insertions and removals
-// never overlap, matching the algorithms' requirements.
+// # Serving architecture
+//
+// Updates flow through a coalescing pipeline: every InsertEdge/RemoveEdge/
+// InsertEdges/RemoveEdges call enqueues an op and blocks on its future
+// while a dedicated applier goroutine drains the queue, folds everything
+// pending into one mixed batch (last op per edge wins; canceling
+// insert/remove pairs annihilate), and runs it through the engine. Batches
+// still serialize — the algorithms require it — but concurrent writers
+// share engine rounds instead of queueing on a mutex.
+//
+// Queries never touch live engine state: at every batch quiescence the
+// applier publishes an immutable epoch-versioned snapshot, and CoreOf,
+// CoreNumbers, MaxCore, CoreHistogram, and Snapshot read the latest one
+// through an atomic pointer — lock-free, race-free, and never blocked
+// behind an in-flight batch. An update call's snapshot is published before
+// its future completes, so every caller reads its own writes; Flush gives
+// the same guarantee to third-party readers.
 package kcore
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -39,6 +56,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/jes"
 	"repro/internal/pcore"
+	"repro/internal/snapshot"
+	"repro/internal/stats"
 	"repro/internal/traversal"
 )
 
@@ -88,7 +107,10 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
 // The default is 1.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 
-// BatchResult reports the outcome of one batch.
+// BatchResult reports the outcome of one batch. When the pipeline folds
+// several concurrent caller ops into one engine batch, every caller
+// receives the shared result of that coalesced batch (Coalesced tells how
+// many ops it covered).
 type BatchResult struct {
 	// Applied counts the edges that changed the graph (duplicates,
 	// self-loops and absent removals are skipped).
@@ -102,6 +124,9 @@ type BatchResult struct {
 	VPlusSizes []int
 	// Duration is the wall-clock time of the batch.
 	Duration time.Duration
+	// Coalesced is the number of caller ops folded into the engine batch
+	// this result describes; 1 when the op ran alone.
+	Coalesced int
 	// Contention reports the parallel engine's synchronization counters
 	// (zero value for the other engines): how often conditional locks
 	// aborted, priority queues rebuilt their label snapshots, and removal
@@ -119,20 +144,42 @@ type Contention struct {
 	Evictions     int64 // Backward repositionings
 }
 
-// Maintainer tracks core numbers of one dynamic graph. Create it with New;
-// all methods are safe for concurrent use (batches serialize internally).
-type Maintainer struct {
-	mu  sync.Mutex
+func (c *Contention) add(s pcore.MetricsSnapshot) {
+	c.LockAborts += s.LockAborts
+	c.QueueRebuilds += s.QueueRebuilds
+	c.RemovalRedos += s.RemovalRedos
+	c.Evictions += s.Evictions
+}
+
+// engine owns the maintenance state. Exactly one goroutine mutates it at a
+// time: the pipeline's applier while the pipeline is open, otherwise
+// callers serialized by mu. It deliberately holds no reference back to the
+// Maintainer handle, so an abandoned Maintainer can be collected (a
+// runtime cleanup then stops the applier).
+type engine struct {
 	cfg config
 	g   *graph.Graph
 	ost *core.State      // order-based engines
 	tst *traversal.State // traversal-based engines
+	mu  sync.Mutex       // serializes post-Close synchronous applies
+}
+
+// Maintainer tracks core numbers of one dynamic graph. Create it with New;
+// all methods are safe for concurrent use. Updates serialize through the
+// internal pipeline, queries are served lock-free from the latest
+// published snapshot.
+type Maintainer struct {
+	eng  *engine
+	pipe *pipeline
 }
 
 // New builds a Maintainer over g, computing the initial core decomposition
 // (and, for the order-based engines, the initial k-order) with the BZ
-// algorithm. The Maintainer owns g afterwards: mutate the graph only
-// through InsertEdges/RemoveEdges.
+// algorithm, and starts the update-pipeline applier. The Maintainer owns g
+// afterwards: mutate the graph only through InsertEdges/RemoveEdges.
+//
+// Close releases the applier goroutine early; otherwise it is stopped
+// automatically when the Maintainer becomes unreachable.
 func New(g *graph.Graph, opts ...Option) *Maintainer {
 	cfg := config{alg: ParallelOrder, workers: 1}
 	for _, o := range opts {
@@ -141,46 +188,114 @@ func New(g *graph.Graph, opts ...Option) *Maintainer {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
-	m := &Maintainer{cfg: cfg, g: g}
+	eng := &engine{cfg: cfg, g: g}
 	switch cfg.alg {
 	case Traversal, JoinEdgeSet:
-		m.tst = traversal.NewState(g)
+		eng.tst = traversal.NewState(g)
 	default:
-		m.ost = core.NewState(g)
+		eng.ost = core.NewState(g)
 	}
+	pipe := newPipeline()
+	go pipe.run(eng)
+	m := &Maintainer{eng: eng, pipe: pipe}
+	runtime.AddCleanup(m, func(p *pipeline) { p.close(false) }, pipe)
 	return m
 }
 
-// Graph returns the underlying graph. Treat it as read-only.
-func (m *Maintainer) Graph() *graph.Graph { return m.g }
+// Close stops the update pipeline after finishing every already-enqueued
+// op. Closing is idempotent. The Maintainer stays usable: later updates
+// apply synchronously (serialized, uncoalesced), queries are unaffected.
+func (m *Maintainer) Close() { m.pipe.close(true) }
+
+// Graph returns the underlying graph. Treat it as read-only, and only
+// inspect it at quiescence (after Flush, with no updates in flight);
+// concurrent queries should use Snapshot instead.
+func (m *Maintainer) Graph() *graph.Graph { return m.eng.g }
 
 // Algorithm returns the engine this Maintainer runs.
-func (m *Maintainer) Algorithm() Algorithm { return m.cfg.alg }
+func (m *Maintainer) Algorithm() Algorithm { return m.eng.cfg.alg }
 
 // Workers returns the configured worker count.
-func (m *Maintainer) Workers() int { return m.cfg.workers }
+func (m *Maintainer) Workers() int { return m.eng.cfg.workers }
 
-// CoreOf returns the current core number of v.
-func (m *Maintainer) CoreOf(v int32) int32 {
-	if m.tst != nil {
-		return m.tst.CoreOf(v)
-	}
-	return m.ost.CoreOf(v)
-}
+// view returns the current published snapshot (never nil).
+func (m *Maintainer) view() *snapshot.View { return m.eng.view() }
 
-// CoreNumbers returns a snapshot of all core numbers.
+// CoreOf returns the core number of v in the latest published snapshot.
+// Lock-free; never blocks behind an in-flight batch.
+func (m *Maintainer) CoreOf(v int32) int32 { return m.view().Cores[v] }
+
+// CoreNumbers returns a copy of all core numbers in the latest published
+// snapshot. For zero-copy access use Snapshot.
 func (m *Maintainer) CoreNumbers() []int32 {
-	if m.tst != nil {
-		return m.tst.CoreNumbers()
-	}
-	return m.ost.CoreNumbers()
+	return append([]int32(nil), m.view().Cores...)
 }
 
-// MaxCore returns the largest current core number.
-func (m *Maintainer) MaxCore() int32 { return bz.MaxCore(m.CoreNumbers()) }
+// MaxCore returns the largest core number in the latest snapshot.
+func (m *Maintainer) MaxCore() int32 { return m.view().MaxCore }
 
-// CoreHistogram returns the number of vertices per core value.
-func (m *Maintainer) CoreHistogram() []int64 { return bz.CoreHistogram(m.CoreNumbers()) }
+// CoreHistogram returns the number of vertices per core value in the
+// latest snapshot.
+func (m *Maintainer) CoreHistogram() []int64 {
+	return append([]int64(nil), m.view().Hist...)
+}
+
+// Epoch returns the version of the latest published snapshot. It advances
+// by at least one per applied batch and never decreases; equal epochs mean
+// identical query results.
+func (m *Maintainer) Epoch() uint64 { return m.view().Epoch }
+
+// Snapshot returns the latest published snapshot: an immutable,
+// epoch-versioned view all of whose accessors are O(1) reads. Successive
+// queries against one Snapshot are mutually consistent, unlike successive
+// Maintainer queries, which may straddle a batch.
+func (m *Maintainer) Snapshot() Snapshot { return Snapshot{m.view()} }
+
+// Flush blocks until every update enqueued before the call has been
+// applied and published, then returns the epoch of a snapshot at least
+// that fresh — the read-your-writes barrier for readers that did not issue
+// the writes themselves.
+func (m *Maintainer) Flush() uint64 {
+	m.barrier(nil)
+	return m.Epoch()
+}
+
+// barrier runs fn inside the applier at a quiescent point ordered after
+// every previously enqueued op. fn must not call Maintainer update
+// methods (the applier would deadlock waiting on itself).
+func (m *Maintainer) barrier(fn func()) {
+	op := &updateOp{kind: opBarrier, fn: fn, done: make(chan BatchResult, 1)}
+	m.pipe.enqueue(m.eng, op)
+}
+
+// ServingStats is a point-in-time view of the serving layer: pipeline
+// counters plus update-latency percentiles (enqueue to future completion,
+// in milliseconds).
+type ServingStats struct {
+	Epoch         uint64
+	QueueDepth    int64
+	Enqueued      int64
+	Batches       int64 // coalesced engine batches applied
+	BatchedOps    int64 // caller ops covered by those batches
+	CanceledOps   int64 // ops annihilated by coalescing
+	Flushes       int64 // barrier ops executed
+	UpdateLatency stats.Percentiles
+}
+
+// ServingStats reports the pipeline's instrumentation counters.
+func (m *Maintainer) ServingStats() ServingStats {
+	s := m.pipe.metrics.Snapshot()
+	return ServingStats{
+		Epoch:         m.Epoch(),
+		QueueDepth:    s.QueueDepth,
+		Enqueued:      s.Enqueued,
+		Batches:       s.Batches,
+		BatchedOps:    s.BatchedOps,
+		CanceledOps:   s.CanceledOps,
+		Flushes:       s.Flushes,
+		UpdateLatency: m.pipe.updLat.Percentiles(),
+	}
+}
 
 // InsertEdge inserts a single edge; shorthand for a one-edge batch.
 func (m *Maintainer) InsertEdge(u, v int32) BatchResult {
@@ -193,62 +308,124 @@ func (m *Maintainer) RemoveEdge(u, v int32) BatchResult {
 }
 
 // InsertEdges inserts a batch of edges and updates every core number.
-// Self-loops and already-present edges are skipped.
+// Self-loops and already-present edges are skipped. The call returns after
+// the update is applied and visible to queries (read-your-writes).
 func (m *Maintainer) InsertEdges(edges []graph.Edge) BatchResult {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	start := time.Now()
-	var res BatchResult
-	switch m.cfg.alg {
-	case ParallelOrder:
-		stats, snap := pcore.InsertEdgesMetered(m.ost, edges, m.cfg.workers, nil)
-		res.Contention = contentionFrom(snap)
-		res.VPlusSizes = make([]int, 0, len(stats))
-		for _, s := range stats {
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
-			}
-		}
-	case SequentialOrder:
-		res.VPlusSizes = make([]int, 0, len(edges))
-		for _, e := range edges {
-			s := m.ost.InsertEdgeSeq(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
-			}
-		}
-	case Traversal:
-		for _, e := range edges {
-			s := m.tst.InsertEdge(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-			}
-		}
-	case JoinEdgeSet:
-		s := jes.InsertEdges(m.tst, edges, m.cfg.workers)
-		res.Applied = s.Applied
-	}
-	res.Duration = time.Since(start)
-	return res
+	op := &updateOp{kind: opInsert, edges: edges, done: make(chan BatchResult, 1)}
+	return m.pipe.enqueue(m.eng, op)
 }
 
 // RemoveEdges removes a batch of edges and updates every core number.
-// Self-loops and absent edges are skipped.
+// Self-loops and absent edges are skipped. The call returns after the
+// update is applied and visible to queries (read-your-writes).
 func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	start := time.Now()
-	var res BatchResult
-	switch m.cfg.alg {
+	op := &updateOp{kind: opRemove, edges: edges, done: make(chan BatchResult, 1)}
+	return m.pipe.enqueue(m.eng, op)
+}
+
+// Check verifies every internal invariant of the maintainer against a
+// fresh core decomposition, at a quiescent point ordered after every
+// earlier update. It is O(n + m) and intended for tests and debugging.
+func (m *Maintainer) Check() error {
+	var err error
+	m.barrier(func() { err = m.eng.check() })
+	return err
+}
+
+// view returns the engine's current published snapshot.
+func (eng *engine) view() *snapshot.View {
+	if eng.tst != nil {
+		return eng.tst.Snapshot()
+	}
+	return eng.ost.Snapshot()
+}
+
+// publish builds and installs a fresh snapshot; applier-side, at
+// quiescence only.
+func (eng *engine) publish() *snapshot.View {
+	if eng.tst != nil {
+		return eng.tst.PublishSnapshot()
+	}
+	return eng.ost.PublishSnapshot()
+}
+
+// publishAfter publishes the post-batch snapshot for res. When the batch
+// changed no core number, the previous view's arrays are reused and
+// publication is O(1) instead of O(n) — the common case for small
+// updates, which mostly touch degrees, not cores. JoinEdgeSet does not
+// report per-vertex core changes, so it always pays the full rebuild.
+func (eng *engine) publishAfter(res *BatchResult) {
+	if res.ChangedVertices == 0 && eng.cfg.alg != JoinEdgeSet {
+		if eng.tst != nil {
+			eng.tst.PublishSnapshotUnchanged()
+		} else {
+			eng.ost.PublishSnapshotUnchanged()
+		}
+		return
+	}
+	eng.publish()
+}
+
+func (eng *engine) check() error {
+	if eng.tst != nil {
+		return eng.tst.CheckInvariants()
+	}
+	return eng.ost.CheckInvariants()
+}
+
+// insertBatch runs one insertion batch through the configured engine,
+// accumulating into res. Applier-side (or mu-serialized after Close).
+func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
+	switch eng.cfg.alg {
 	case ParallelOrder:
-		stats, snap := pcore.RemoveEdgesMetered(m.ost, edges, m.cfg.workers, nil)
-		res.Contention = contentionFrom(snap)
-		res.VPlusSizes = make([]int, 0, len(stats))
+		stats, snap := pcore.InsertEdgesMetered(eng.ost, edges, eng.cfg.workers, nil)
+		res.Contention.add(snap)
+		if res.VPlusSizes == nil {
+			res.VPlusSizes = make([]int, 0, len(stats))
+		}
+		for _, s := range stats {
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+			}
+		}
+	case SequentialOrder:
+		if res.VPlusSizes == nil {
+			res.VPlusSizes = make([]int, 0, len(edges))
+		}
+		for _, e := range edges {
+			s := eng.ost.InsertEdgeSeq(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+			}
+		}
+	case Traversal:
+		for _, e := range edges {
+			s := eng.tst.InsertEdge(e.U, e.V)
+			if s.Applied {
+				res.Applied++
+				res.ChangedVertices += s.VStar
+			}
+		}
+	case JoinEdgeSet:
+		s := jes.InsertEdges(eng.tst, edges, eng.cfg.workers)
+		res.Applied += s.Applied
+	}
+}
+
+// removeBatch runs one removal batch through the configured engine,
+// accumulating into res. Applier-side (or mu-serialized after Close).
+func (eng *engine) removeBatch(edges []graph.Edge, res *BatchResult) {
+	switch eng.cfg.alg {
+	case ParallelOrder:
+		stats, snap := pcore.RemoveEdgesMetered(eng.ost, edges, eng.cfg.workers, nil)
+		res.Contention.add(snap)
+		if res.VPlusSizes == nil {
+			res.VPlusSizes = make([]int, 0, len(stats))
+		}
 		for _, s := range stats {
 			if s.Applied {
 				res.Applied++
@@ -257,9 +434,11 @@ func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
 			}
 		}
 	case SequentialOrder:
-		res.VPlusSizes = make([]int, 0, len(edges))
+		if res.VPlusSizes == nil {
+			res.VPlusSizes = make([]int, 0, len(edges))
+		}
 		for _, e := range edges {
-			s := m.ost.RemoveEdgeSeq(e.U, e.V)
+			s := eng.ost.RemoveEdgeSeq(e.U, e.V)
 			if s.Applied {
 				res.Applied++
 				res.ChangedVertices += s.VStar
@@ -268,39 +447,71 @@ func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
 		}
 	case Traversal:
 		for _, e := range edges {
-			s := m.tst.RemoveEdge(e.U, e.V)
+			s := eng.tst.RemoveEdge(e.U, e.V)
 			if s.Applied {
 				res.Applied++
 				res.ChangedVertices += s.VStar
 			}
 		}
 	case JoinEdgeSet:
-		s := jes.RemoveEdges(m.tst, edges, m.cfg.workers)
-		res.Applied = s.Applied
+		s := jes.RemoveEdges(eng.tst, edges, eng.cfg.workers)
+		res.Applied += s.Applied
+	}
+}
+
+// applyDirect is the post-Close path: apply one op synchronously under mu.
+func (eng *engine) applyDirect(op *updateOp) BatchResult {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	start := time.Now()
+	var res BatchResult
+	switch op.kind {
+	case opInsert:
+		eng.insertBatch(op.edges, &res)
+	case opRemove:
+		eng.removeBatch(op.edges, &res)
+	case opBarrier:
+		if op.fn != nil {
+			op.fn()
+		}
+		return res
 	}
 	res.Duration = time.Since(start)
+	res.Coalesced = 1
+	eng.publishAfter(&res)
 	return res
 }
 
-// Check verifies every internal invariant of the maintainer against a fresh
-// core decomposition. It is O(n + m) and intended for tests and debugging.
-func (m *Maintainer) Check() error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.tst != nil {
-		return m.tst.CheckInvariants()
-	}
-	return m.ost.CheckInvariants()
+// Snapshot is an immutable, epoch-versioned view of the maintained core
+// decomposition, published at batch quiescence. All accessors are plain
+// reads; a Snapshot never changes after it is obtained, so any number of
+// goroutines may share one.
+type Snapshot struct {
+	v *snapshot.View
 }
 
-func contentionFrom(s pcore.MetricsSnapshot) Contention {
-	return Contention{
-		LockAborts:    s.LockAborts,
-		QueueRebuilds: s.QueueRebuilds,
-		RemovalRedos:  s.RemovalRedos,
-		Evictions:     s.Evictions,
-	}
-}
+// Epoch returns the snapshot's version.
+func (s Snapshot) Epoch() uint64 { return s.v.Epoch }
+
+// N returns the vertex count.
+func (s Snapshot) N() int { return s.v.N }
+
+// M returns the edge count at publication time.
+func (s Snapshot) M() int64 { return s.v.M }
+
+// CoreOf returns the core number of v.
+func (s Snapshot) CoreOf(v int32) int32 { return s.v.Cores[v] }
+
+// CoreNumbers returns the full core array. The slice is shared and
+// read-only.
+func (s Snapshot) CoreNumbers() []int32 { return s.v.Cores }
+
+// MaxCore returns the largest core number.
+func (s Snapshot) MaxCore() int32 { return s.v.MaxCore }
+
+// Histogram returns the vertices-per-core-value counts. The slice is
+// shared and read-only.
+func (s Snapshot) Histogram() []int64 { return s.v.Hist }
 
 // Decompose computes core numbers from scratch with the linear-time BZ
 // algorithm — the static building block, usable without a Maintainer.

@@ -1,0 +1,226 @@
+package kcore
+
+import (
+	"sync"
+	"time"
+
+	"repro/graph"
+	"repro/internal/pcore"
+	"repro/internal/stats"
+)
+
+// The update pipeline is the serving layer's write path: concurrent
+// callers enqueue ops onto a channel-backed queue and a dedicated applier
+// goroutine drains it, coalescing everything pending into mixed
+// insert/remove batches (last op per canonical edge wins, so canceling
+// insert/remove pairs annihilate), runs them through the engine, publishes
+// a fresh read snapshot at quiescence, and completes the per-caller
+// futures. Batches therefore still serialize — the engines require it —
+// but callers no longer serialize on a mutex: a burst of W single-edge
+// writers costs one engine round, not W.
+
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opRemove
+	opBarrier
+)
+
+// updateOp is one enqueued request; done is its future (buffered, capacity
+// 1, completed exactly once by the applier or the post-Close fallback).
+type updateOp struct {
+	kind  opKind
+	edges []graph.Edge
+	fn    func() // opBarrier only: runs in the applier at quiescence
+	done  chan BatchResult
+}
+
+const (
+	// opQueueCap is the channel buffer: writers beyond it block until the
+	// applier catches up (closed-loop backpressure).
+	opQueueCap = 256
+	// maxDrainOps bounds one coalesced drain so a continuous write storm
+	// cannot starve snapshot publication indefinitely.
+	maxDrainOps = 1024
+)
+
+type pipeline struct {
+	ops    chan *updateOp
+	exited chan struct{} // closed when the applier has drained and returned
+
+	// mu guards closed and makes enqueue-vs-Close safe: senders hold the
+	// read side across the channel send, Close takes the write side before
+	// closing ops, so no send can hit a closed channel.
+	mu     sync.RWMutex
+	closed bool
+
+	metrics pcore.ServeMetrics
+	updLat  stats.LatencyRecorder
+}
+
+func newPipeline() *pipeline {
+	return &pipeline{
+		ops:    make(chan *updateOp, opQueueCap),
+		exited: make(chan struct{}),
+	}
+}
+
+// enqueue submits op and blocks until the applier completes its future.
+// After Close the op is applied synchronously instead, so a Maintainer
+// keeps working (single-threaded) once its pipeline is shut down.
+func (p *pipeline) enqueue(eng *engine, op *updateOp) BatchResult {
+	start := time.Now()
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		<-p.exited // the applier still owns the engine until it returns
+		return eng.applyDirect(op)
+	}
+	p.metrics.QueueDepth.Add(1)
+	p.ops <- op
+	// Incremented after the send: once a reader of the counter observes
+	// the op it is guaranteed to be in the channel, in enqueue order.
+	p.metrics.Enqueued.Add(1)
+	p.mu.RUnlock()
+	res := <-op.done
+	if op.kind != opBarrier {
+		p.updLat.Record(time.Since(start))
+	}
+	return res
+}
+
+// close shuts the pipeline down. The applier finishes every op already
+// enqueued before exiting; with wait set, close blocks until it has.
+func (p *pipeline) close(wait bool) {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.ops)
+	}
+	p.mu.Unlock()
+	if wait {
+		<-p.exited
+	}
+}
+
+// run is the applier loop. It blocks for the next op, greedily drains
+// whatever else is already queued, and processes the run. Ranging over the
+// channel drains every buffered op after close before exiting.
+func (p *pipeline) run(eng *engine) {
+	defer close(p.exited)
+	pending := make([]*updateOp, 0, 64)
+	for first := range p.ops {
+		pending = append(pending[:0], first)
+	drain:
+		for len(pending) < maxDrainOps {
+			select {
+			case op, ok := <-p.ops:
+				if !ok {
+					break drain
+				}
+				pending = append(pending, op)
+			default:
+				break drain
+			}
+		}
+		p.process(eng, pending)
+	}
+}
+
+// process splits the drained ops at barriers: each maximal run of update
+// ops becomes one coalesced engine batch, and each barrier executes at the
+// quiescent point its enqueue order put it at, so Flush keeps exact
+// read-your-writes semantics.
+func (p *pipeline) process(eng *engine, pending []*updateOp) {
+	i := 0
+	for i < len(pending) {
+		if pending[i].kind == opBarrier {
+			b := pending[i]
+			i++
+			if b.fn != nil {
+				b.fn()
+			}
+			p.metrics.Flushes.Add(1)
+			p.finish(b, BatchResult{})
+			continue
+		}
+		j := i
+		for j < len(pending) && pending[j].kind != opBarrier {
+			j++
+		}
+		p.applySegment(eng, pending[i:j])
+		i = j
+	}
+}
+
+// applySegment coalesces one run of update ops, applies the mixed batch
+// (removals, then insertions — the two edge sets are disjoint after
+// coalescing, so the order is immaterial to the final state), publishes
+// the post-batch snapshot, and completes every future with the shared
+// result of the coalesced batch.
+func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
+	removes, inserts, canceled := coalesce(seg)
+	start := time.Now()
+	var res BatchResult
+	if len(removes) > 0 {
+		eng.removeBatch(removes, &res)
+	}
+	if len(inserts) > 0 {
+		eng.insertBatch(inserts, &res)
+	}
+	res.Duration = time.Since(start)
+	res.Coalesced = len(seg)
+	eng.publishAfter(&res)
+	p.metrics.Batches.Add(1)
+	p.metrics.BatchedOps.Add(int64(len(seg)))
+	p.metrics.CanceledOps.Add(int64(canceled))
+	for _, op := range seg {
+		p.finish(op, res)
+	}
+}
+
+func (p *pipeline) finish(op *updateOp, res BatchResult) {
+	p.metrics.QueueDepth.Add(-1)
+	op.done <- res
+}
+
+// coalesce flattens a segment of update ops into disjoint remove/insert
+// batches. For every canonical edge the last enqueued op wins — a valid
+// linearization, since callers in the same drain are concurrent and the
+// engines skip duplicate insertions and absent removals, so replaying only
+// the final op per edge reaches the same quiescent state. canceled counts
+// ops superseded by an opposite-kind op (insert+remove pairs that
+// annihilated within the drain).
+func coalesce(seg []*updateOp) (removes, inserts []graph.Edge, canceled int) {
+	if len(seg) == 1 {
+		// Fast path: a lone op keeps its batch verbatim (exact seed
+		// semantics, including caller-chosen edge order).
+		if seg[0].kind == opRemove {
+			return seg[0].edges, nil, 0
+		}
+		return nil, seg[0].edges, 0
+	}
+	last := make(map[graph.Edge]opKind)
+	var order []graph.Edge // first-seen order keeps batches deterministic
+	for _, op := range seg {
+		for _, e := range op.edges {
+			ne := e.Norm()
+			prev, seen := last[ne]
+			if !seen {
+				order = append(order, ne)
+			} else if prev != op.kind {
+				canceled++
+			}
+			last[ne] = op.kind
+		}
+	}
+	for _, e := range order {
+		if last[e] == opRemove {
+			removes = append(removes, e)
+		} else {
+			inserts = append(inserts, e)
+		}
+	}
+	return removes, inserts, canceled
+}

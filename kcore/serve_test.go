@@ -1,0 +1,332 @@
+package kcore
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+// TestCoalesceLastOpWins exercises the pure coalescer: per canonical edge
+// the last enqueued op must win, opposite-kind supersessions must count as
+// canceled, and single-op segments must pass through verbatim.
+func TestCoalesceLastOpWins(t *testing.T) {
+	mk := func(kind opKind, edges ...graph.Edge) *updateOp {
+		return &updateOp{kind: kind, edges: edges}
+	}
+	e := func(u, v int32) graph.Edge { return graph.Edge{U: u, V: v} }
+
+	// Single op: verbatim, including non-canonical edge order.
+	rem, ins, canceled := coalesce([]*updateOp{mk(opInsert, e(3, 1), e(1, 2))})
+	if len(rem) != 0 || len(ins) != 2 || canceled != 0 || ins[0] != e(3, 1) {
+		t.Fatalf("single op: rem=%v ins=%v canceled=%d", rem, ins, canceled)
+	}
+
+	// insert(1,2) then remove(2,1): the pair annihilates into a removal
+	// of the canonical edge; the insert counts as canceled.
+	rem, ins, canceled = coalesce([]*updateOp{
+		mk(opInsert, e(1, 2)),
+		mk(opRemove, e(2, 1)),
+	})
+	if len(ins) != 0 || len(rem) != 1 || rem[0] != e(1, 2) || canceled != 1 {
+		t.Fatalf("cancel pair: rem=%v ins=%v canceled=%d", rem, ins, canceled)
+	}
+
+	// remove then insert: insert wins; same-kind duplicates dedup without
+	// counting as canceled.
+	rem, ins, canceled = coalesce([]*updateOp{
+		mk(opRemove, e(5, 6)),
+		mk(opInsert, e(6, 5), e(7, 8)),
+		mk(opInsert, e(8, 7)),
+	})
+	if len(rem) != 0 || len(ins) != 2 || canceled != 1 {
+		t.Fatalf("remove-then-insert: rem=%v ins=%v canceled=%d", rem, ins, canceled)
+	}
+	if ins[0] != e(5, 6) || ins[1] != e(7, 8) {
+		t.Fatalf("first-seen order lost: %v", ins)
+	}
+}
+
+// TestPipelineCoalescesCancelingPair drives a canceling insert/remove pair
+// through the live pipeline deterministically: a blocking barrier parks the
+// applier, both ops are enqueued behind it, and releasing the barrier must
+// drain them as one coalesced batch that leaves the graph unchanged.
+func TestPipelineCoalescesCancelingPair(t *testing.T) {
+	base := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	m := New(base)
+	defer m.Close()
+	before := m.ServingStats()
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.barrier(func() { close(entered); <-gate })
+	}()
+	// Once the applier is inside the barrier, its current drain is fixed:
+	// everything enqueued now lands in the next drain, together.
+	<-entered
+
+	var results [2]BatchResult
+	wg.Add(2)
+	go func() { defer wg.Done(); results[0] = m.InsertEdge(0, 3) }()
+	// Wait until the insert sits in the queue so the remove lands after it.
+	for m.ServingStats().Enqueued < before.Enqueued+2 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	go func() { defer wg.Done(); results[1] = m.RemoveEdge(3, 0) }()
+	for m.ServingStats().Enqueued < before.Enqueued+3 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	wg.Wait()
+
+	after := m.ServingStats()
+	if got := after.Batches - before.Batches; got != 1 {
+		t.Fatalf("expected 1 coalesced batch, got %d", got)
+	}
+	if got := after.CanceledOps - before.CanceledOps; got != 1 {
+		t.Fatalf("expected 1 canceled op, got %d", got)
+	}
+	for i, r := range results {
+		if r.Coalesced != 2 {
+			t.Fatalf("op %d: Coalesced = %d, want 2", i, r.Coalesced)
+		}
+	}
+	// The pair annihilated: edge (0,3) was never present and must not be.
+	if m.Graph().HasEdge(0, 3) {
+		t.Fatal("canceled pair left the edge in the graph")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadYourWrites: an update call's effects must be visible to queries
+// the moment the call returns, for every engine.
+func TestReadYourWrites(t *testing.T) {
+	for _, alg := range allAlgorithms {
+		m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}), WithAlgorithm(alg))
+		if m.CoreOf(0) != 1 {
+			t.Fatalf("%v: initial core = %d", alg, m.CoreOf(0))
+		}
+		e0 := m.Epoch()
+		m.InsertEdge(0, 2) // closes the triangle
+		if got := m.CoreOf(0); got != 2 {
+			t.Fatalf("%v: core after insert = %d, want 2 (stale snapshot?)", alg, got)
+		}
+		if m.Epoch() <= e0 {
+			t.Fatalf("%v: epoch did not advance across a batch", alg)
+		}
+		if got := m.Flush(); got < m.Epoch()-1 {
+			t.Fatalf("%v: Flush returned stale epoch %d", alg, got)
+		}
+		s := m.Snapshot()
+		if s.MaxCore() != 2 || s.CoreOf(1) != 2 || s.M() != 3 || s.N() != 3 {
+			t.Fatalf("%v: snapshot %+v inconsistent", alg, s)
+		}
+		m.Close()
+	}
+}
+
+// TestEpochMonotonic: under concurrent writers the published epoch must
+// never decrease, and must advance while batches are applied.
+func TestEpochMonotonic(t *testing.T) {
+	base := gen.ErdosRenyi(200, 600, 21)
+	m := New(base.Clone(), WithWorkers(2))
+	defer m.Close()
+	pool := gen.SampleNonEdges(base, 120, 22)
+
+	start := m.Epoch()
+	var stop atomic.Bool
+	var regressed atomic.Bool
+	var writers, sampler sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			chunk := pool[w*30 : (w+1)*30]
+			for i := 0; i < 20; i++ {
+				m.InsertEdges(chunk)
+				m.RemoveEdges(chunk)
+			}
+		}(w)
+	}
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		last := m.Epoch()
+		for !stop.Load() {
+			e := m.Epoch()
+			if e < last {
+				regressed.Store(true)
+				return
+			}
+			last = e
+		}
+	}()
+	writers.Wait()
+	stop.Store(true)
+	sampler.Wait()
+	if regressed.Load() {
+		t.Fatal("epoch went backwards")
+	}
+	if m.Epoch() <= start {
+		t.Fatal("epoch did not advance under writers")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueriesDuringBatchesRace is the -race regression for the seed's
+// unlocked read path: 10 query goroutines hammer every read API while
+// insert/remove batches run, for both engine families. Queries must be
+// race-free, block-free, and the final state must match a fresh
+// decomposition.
+func TestQueriesDuringBatchesRace(t *testing.T) {
+	for _, alg := range []Algorithm{ParallelOrder, Traversal} {
+		base := gen.ErdosRenyi(300, 900, 31)
+		m := New(base.Clone(), WithAlgorithm(alg), WithWorkers(4))
+		pool := gen.SampleNonEdges(base, 200, 32)
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		var reads atomic.Int64
+		for q := 0; q < 10; q++ {
+			wg.Add(1)
+			go func(q int) {
+				defer wg.Done()
+				v := int32(q)
+				for !stop.Load() {
+					switch q % 5 {
+					case 0:
+						m.CoreOf(v % 300)
+					case 1:
+						m.CoreNumbers()
+					case 2:
+						m.MaxCore()
+					case 3:
+						m.CoreHistogram()
+					case 4:
+						s := m.Snapshot()
+						if s.CoreOf(v%300) > s.MaxCore() {
+							panic("snapshot internally inconsistent")
+						}
+					}
+					v++
+					reads.Add(1)
+				}
+			}(q)
+		}
+
+		for i := 0; i < 6; i++ {
+			m.InsertEdges(pool)
+			m.RemoveEdges(pool)
+		}
+		stop.Store(true)
+		wg.Wait()
+		if reads.Load() == 0 {
+			t.Fatalf("%v: no queries completed", alg)
+		}
+
+		truth := Decompose(m.Graph())
+		m.Flush()
+		for v, want := range truth {
+			if got := m.CoreOf(int32(v)); got != want {
+				t.Fatalf("%v: core[%d] = %d, want %d", alg, v, got, want)
+			}
+		}
+		m.Close()
+	}
+}
+
+// TestConcurrentWritersConverge: many writers pushing overlapping single
+// edges and batches through the pipeline must leave a state identical to a
+// fresh decomposition of the final graph.
+func TestConcurrentWritersConverge(t *testing.T) {
+	base := gen.ErdosRenyi(150, 450, 41)
+	m := New(base.Clone(), WithWorkers(4))
+	defer m.Close()
+	pool := gen.SampleNonEdges(base, 96, 42)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			chunk := pool[w*12 : (w+1)*12]
+			for round := 0; round < 10; round++ {
+				if round%2 == 0 {
+					for _, e := range chunk {
+						m.InsertEdge(e.U, e.V)
+					}
+				} else {
+					m.RemoveEdges(chunk)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	truth := Decompose(m.Graph())
+	for v, want := range truth {
+		if got := m.CoreOf(int32(v)); got != want {
+			t.Fatalf("core[%d] = %d, want %d", v, got, want)
+		}
+	}
+	st := m.ServingStats()
+	if st.QueueDepth != 0 {
+		t.Fatalf("queue not drained: depth %d", st.QueueDepth)
+	}
+	if st.Batches == 0 || st.BatchedOps < st.Batches {
+		t.Fatalf("implausible pipeline stats: %+v", st)
+	}
+	if st.UpdateLatency.N == 0 {
+		t.Fatal("no update latencies recorded")
+	}
+}
+
+// TestCloseFallback: after Close, updates must keep working synchronously
+// and remain visible to queries; Close must be idempotent.
+func TestCloseFallback(t *testing.T) {
+	m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	m.Close()
+	m.Close() // idempotent
+	res := m.InsertEdge(0, 2)
+	if res.Applied != 1 || res.Coalesced != 1 {
+		t.Fatalf("post-close insert: %+v", res)
+	}
+	if m.CoreOf(0) != 2 {
+		t.Fatalf("post-close snapshot stale: core = %d", m.CoreOf(0))
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if m.RemoveEdge(0, 2).Applied != 1 {
+		t.Fatal("post-close remove failed")
+	}
+}
+
+// TestServingStatsCounters sanity-checks the instrumentation satellite.
+func TestServingStatsCounters(t *testing.T) {
+	m := New(graph.New(4))
+	defer m.Close()
+	m.InsertEdge(0, 1)
+	m.InsertEdge(1, 2)
+	m.Flush()
+	st := m.ServingStats()
+	if st.Enqueued != 3 || st.Flushes != 1 {
+		t.Fatalf("stats %+v: want 3 enqueued, 1 flush", st)
+	}
+	if st.Batches < 2 || st.Epoch == 0 {
+		t.Fatalf("stats %+v: want >= 2 batches and nonzero epoch", st)
+	}
+}
