@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench loadserve
+.PHONY: all build vet test race bench bench-json loadserve
 
 all: build vet test
 
@@ -18,6 +18,11 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Snapshot-publication perf trajectory: full rebuild vs copy-on-write
+# delta across n and |V*|, recorded as go test -json output.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish' -json ./internal/snapshot > BENCH_serve.json
 
 loadserve:
 	$(GO) run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 -batch 64 -d 5s -check

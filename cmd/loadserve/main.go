@@ -142,6 +142,12 @@ func main() {
 	}
 	fmt.Printf("pipeline: batches=%d ops/batch=%.2f canceled=%d flushes=%d queue=%d epoch=%d\n",
 		st.Batches, opsPerBatch, st.CanceledOps, st.Flushes, st.QueueDepth, epoch)
+	pagesPerDelta := 0.0
+	if st.DeltaPublishes > 0 {
+		pagesPerDelta = float64(st.DirtyPages) / float64(st.DeltaPublishes)
+	}
+	fmt.Printf("publish: full=%d delta=%d unchanged=%d dirty-pages=%d (%.2f pages/delta)\n",
+		st.FullPublishes, st.DeltaPublishes, st.UnchangedPublishes, st.DirtyPages, pagesPerDelta)
 
 	if *check {
 		if err := maint.Check(); err != nil {

@@ -205,11 +205,16 @@ func MaxCore(core []int32) int32 {
 }
 
 // CoreHistogram returns how many vertices have each core number; index k
-// holds |{v : core(v) = k}|. JEI/JER parallelism is bounded by the number of
-// distinct non-empty bins (paper §6.2).
+// holds |{v : core(v) = k}|, and the result has length MaxCore+1 (so [0]
+// for an empty input). One pass over core: the bins grow on demand instead
+// of a separate MaxCore scan sizing them up front. JEI/JER parallelism is
+// bounded by the number of distinct non-empty bins (paper §6.2).
 func CoreHistogram(core []int32) []int64 {
-	h := make([]int64, MaxCore(core)+1)
+	h := make([]int64, 1, 64)
 	for _, c := range core {
+		for int(c) >= len(h) {
+			h = append(h, 0)
+		}
 		h[c]++
 	}
 	return h

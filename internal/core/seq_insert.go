@@ -157,17 +157,14 @@ func (st *State) InsertEdgeSeq(u, v int32) InsertStats {
 		w = next
 	}
 	run.commit()
-	return InsertStats{Applied: true, VPlus: len(run.vplus), VStar: countLive(run.vstar, run.inStar)}
-}
-
-func countLive(vs []int32, in map[int32]bool) int {
-	n := 0
-	for _, v := range vs {
-		if in[v] {
-			n++
+	stats := InsertStats{Applied: true, VPlus: len(run.vplus)}
+	for _, x := range run.vstar {
+		if run.inStar[x] {
+			stats.Changed = append(stats.Changed, x)
 		}
 	}
-	return n
+	stats.VStar = len(stats.Changed)
+	return stats
 }
 
 // dequeue pops the smallest-k-order vertex with core number k, discarding

@@ -48,7 +48,8 @@ func (st *State) RemoveEdgeSeq(u, v int32) RemoveStats {
 	for _, w := range run.vstar {
 		st.RecomputeDout(w)
 	}
-	return RemoveStats{Applied: true, VStar: len(run.vstar)}
+	// run.vstar is freshly allocated per call, so it can be handed out.
+	return RemoveStats{Applied: true, VStar: len(run.vstar), Changed: run.vstar}
 }
 
 // removeRun carries the per-operation scratch state of one sequential edge

@@ -126,6 +126,24 @@ func (st *State) PublishSnapshotUnchanged() *snapshot.View {
 	return st.pub.PublishUnchanged(st.G.M())
 }
 
+// PublishSnapshotDelta publishes a copy-on-write view patched from the
+// previous one: changed must cover every vertex whose core number moved
+// since the last publication (a batch's ⋃V*; duplicates are fine), and
+// their quiescent core numbers are read here. Cost is proportional to the
+// changed set and the pages it dirties, not to n; huge distinct sets fall
+// back to the full rebuild (see snapshot.BuildDelta). Must run at
+// quiescence.
+func (st *State) PublishSnapshotDelta(changed []int32) *snapshot.View {
+	delta, ok := snapshot.BuildDelta(changed, st.N(), func(v int32) int32 { return st.Core[v].Load() })
+	if !ok {
+		return st.PublishSnapshot()
+	}
+	return st.pub.PublishDelta(delta, st.G.M())
+}
+
+// PubStats reports the snapshot publication counters.
+func (st *State) PubStats() snapshot.PubStats { return st.pub.Stats() }
+
 // Snapshot returns the most recently published view. Never nil: NewState
 // publishes the initial decomposition.
 func (st *State) Snapshot() *snapshot.View { return st.pub.Current() }
@@ -262,6 +280,9 @@ type InsertStats struct {
 	Applied bool // false: self-loop or duplicate edge, nothing changed
 	VPlus   int  // |V+|: vertices traversed
 	VStar   int  // |V*|: vertices whose core number increased
+	// Changed is V* itself — the vertices whose core number this
+	// insertion raised — the input to delta snapshot publication.
+	Changed []int32
 }
 
 // RemoveStats reports what one edge removal did. For removal V+ = V*
@@ -269,4 +290,7 @@ type InsertStats struct {
 type RemoveStats struct {
 	Applied bool // false: edge was absent, nothing changed
 	VStar   int  // |V*|: vertices whose core number decreased
+	// Changed is V* itself — the vertices whose core number this removal
+	// lowered — the input to delta snapshot publication.
+	Changed []int32
 }

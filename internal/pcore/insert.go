@@ -106,12 +106,15 @@ func (p *insertWorker) insertEdge(u, v int32) core.InsertStats {
 		w = next
 	}
 	p.commit()
-	stats := core.InsertStats{Applied: true, VPlus: p.vplus, VStar: 0}
+	// p.vstar is reused scratch; the surviving candidates are copied out
+	// so the changed set stays valid after the next edge resets it.
+	stats := core.InsertStats{Applied: true, VPlus: p.vplus}
 	for _, w := range p.vstar {
 		if p.inStar[w] {
-			stats.VStar++
+			stats.Changed = append(stats.Changed, w)
 		}
 	}
+	stats.VStar = len(stats.Changed)
 	return stats
 }
 

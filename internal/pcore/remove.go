@@ -107,7 +107,12 @@ func (p *removeWorker) removeEdge(u, v int32) core.RemoveStats {
 		}
 	}
 	p.commit()
-	return core.RemoveStats{Applied: true, VStar: len(p.vstar)}
+	// p.vstar is reused scratch; copy the dropped set out for the caller.
+	return core.RemoveStats{
+		Applied: true,
+		VStar:   len(p.vstar),
+		Changed: append([]int32(nil), p.vstar...),
+	}
 }
 
 // checkMCD materializes x's mcd if empty (Algorithm 8, CheckMCD). x is

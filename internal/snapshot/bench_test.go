@@ -1,0 +1,65 @@
+package snapshot
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSnapshotPublish contrasts the two publication paths the serving
+// layer can take after a batch that changed |V*| core numbers on an
+// n-vertex graph:
+//
+//   - full:  what every publication used to cost — materialize the core
+//     array (the O(n) copy a quiescent engine scan pays) and rebuild the
+//     aggregates from scratch;
+//   - delta: the copy-on-write path — clone only the pages the changed
+//     set dirties and patch the histogram by ± deltas.
+//
+// The delta rows should be independent of n and proportional to the dirty
+// page count; `make bench-json` records the numbers in BENCH_serve.json.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	for _, n := range []int{100_000, 1_000_000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		cores := make([]int32, n)
+		for i := range cores {
+			cores[i] = rng.Int31n(64)
+		}
+		for _, vstar := range []int{1, 100, 10_000} {
+			if vstar > n {
+				continue
+			}
+			// Two alternating changed sets over the same vertices, so
+			// every iteration really patches pages instead of hitting
+			// the no-op skip.
+			verts := rng.Perm(n)[:vstar]
+			flip := make([][]VertexCore, 2)
+			for side := range flip {
+				flip[side] = make([]VertexCore, vstar)
+				for i, v := range verts {
+					flip[side][i] = VertexCore{V: int32(v), Core: cores[v] + int32(side)}
+				}
+			}
+			name := fmt.Sprintf("n=%d/vstar=%d", n, vstar)
+			b.Run(name+"/full", func(b *testing.B) {
+				var p Publisher
+				p.Publish(append([]int32(nil), cores...), int64(n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Publish(append([]int32(nil), cores...), int64(n))
+				}
+			})
+			b.Run(name+"/delta", func(b *testing.B) {
+				var p Publisher
+				p.Publish(append([]int32(nil), cores...), int64(n))
+				p.PublishDelta(flip[1], int64(n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.PublishDelta(flip[i%2], int64(n))
+				}
+			})
+		}
+	}
+}

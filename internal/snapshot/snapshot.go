@@ -3,12 +3,31 @@
 // queries load the current View through an atomic pointer and never touch
 // live engine state, so reads are lock-free and never block behind an
 // in-flight batch.
+//
+// Core numbers are stored in fixed-size pages behind a page table, so a
+// View can be re-published copy-on-write: PublishDelta clones only the
+// pages a batch dirtied and patches the histogram by the per-vertex
+// (oldCore, newCore) deltas, making publication cost O(|V*| + dirtyPages ·
+// PageSize + n/PageSize) instead of O(n). Readers holding an older View
+// keep seeing its pages unchanged — published pages are never written.
 package snapshot
 
 import (
 	"sync/atomic"
 
 	"repro/internal/bz"
+)
+
+const (
+	// PageBits is the log2 of the page size: pages hold 1024 core numbers
+	// (4 KiB). Small pages bound the write amplification of scattered
+	// changed sets — a delta touching p distinct pages clones p·4 KiB —
+	// while the page table stays negligible (n/1024 pointers).
+	PageBits = 10
+	// PageSize is the number of vertices per page.
+	PageSize = 1 << PageBits
+
+	pageMask = PageSize - 1
 )
 
 // View is one immutable snapshot of a core decomposition. All fields are
@@ -18,15 +37,99 @@ type View struct {
 	// Epoch increases by one with every published View; it never repeats
 	// or decreases for a given Publisher.
 	Epoch uint64
-	// Cores[v] is the core number of v at publication time.
-	Cores []int32
-	// MaxCore is the largest value in Cores.
+	// pages is the page table: pages[p][i] is the core number of vertex
+	// p·PageSize + i. The last page is short when N is not a multiple of
+	// PageSize. Pages are shared freely between Views and never mutated
+	// after publication.
+	pages [][]int32
+	// MaxCore is the largest core number (len(Hist)-1).
 	MaxCore int32
-	// Hist[k] counts the vertices with core number k.
+	// Hist[k] counts the vertices with core number k; its last bin is
+	// nonzero (Hist = [0] for the empty graph).
 	Hist []int64
 	// N and M are the vertex and edge counts at publication time.
 	N int
 	M int64
+}
+
+// CoreOf returns the core number of v: one shift+mask page lookup, O(1).
+func (v *View) CoreOf(u int32) int32 {
+	return v.pages[u>>PageBits][u&pageMask]
+}
+
+// CoresInto materializes the paged core array into dst, which is grown if
+// its capacity is short, and returns it. Pass a slice retained across
+// calls to avoid a fresh O(n) allocation per materialization.
+func (v *View) CoresInto(dst []int32) []int32 {
+	if cap(dst) < v.N {
+		dst = make([]int32, v.N)
+	} else {
+		dst = dst[:v.N]
+	}
+	for p, pg := range v.pages {
+		copy(dst[p<<PageBits:], pg)
+	}
+	return dst
+}
+
+// NumPages returns the page-table length (for instrumentation and tests).
+func (v *View) NumPages() int { return len(v.pages) }
+
+// ForEachPage calls fn once per page in vertex order: start is the id of
+// the page's first vertex and page its core numbers (page[i] belongs to
+// vertex start+i). The allocation-free way to scan all cores sequentially;
+// fn must treat page as read-only.
+func (v *View) ForEachPage(fn func(start int32, page []int32)) {
+	for p, pg := range v.pages {
+		fn(int32(p)<<PageBits, pg)
+	}
+}
+
+// VertexCore names one vertex of a batch's changed set V* together with
+// its post-batch core number. The pre-batch value is not needed: the
+// publisher reads it from the page being patched.
+type VertexCore struct {
+	V    int32 // vertex id
+	Core int32 // core number at batch quiescence
+}
+
+// BuildDelta turns a batch's raw changed-vertex report (a ⋃V* that may
+// repeat vertices) into PublishDelta input: duplicates are dropped and
+// each distinct vertex is paired with its quiescent core number via
+// coreOf. ok is false when the distinct set is a sizable fraction of the
+// n-vertex graph (≥ n/4) — there a full rebuild is at least as cheap and
+// the caller should Publish instead; the loop bails out the moment the
+// threshold is crossed, so the fallback case never pays the full dedup.
+// Centralizing this keeps the dedup and fallback policy identical across
+// the engine families.
+func BuildDelta(changed []int32, n int, coreOf func(int32) int32) (delta []VertexCore, ok bool) {
+	hint := len(changed)
+	if limit := n/4 + 1; hint > limit {
+		hint = limit
+	}
+	seen := make(map[int32]struct{}, hint)
+	delta = make([]VertexCore, 0, hint)
+	for _, v := range changed {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		delta = append(delta, VertexCore{V: v, Core: coreOf(v)})
+		if len(delta)*4 >= n {
+			return nil, false
+		}
+	}
+	return delta, true
+}
+
+// PubStats counts publications by kind. DirtyPages accumulates the pages
+// cloned by delta publications; DirtyPages/Delta is the mean write
+// amplification of the copy-on-write path.
+type PubStats struct {
+	Full       int64
+	Delta      int64
+	Unchanged  int64
+	DirtyPages int64
 }
 
 // Publisher owns the current View of one maintained graph. The zero value
@@ -34,26 +137,44 @@ type View struct {
 type Publisher struct {
 	cur   atomic.Pointer[View]
 	epoch atomic.Uint64
+
+	full       atomic.Int64
+	delta      atomic.Int64
+	unchanged  atomic.Int64
+	dirtyPages atomic.Int64
 }
 
 // Publish derives the aggregate fields from cores, stamps the next epoch,
-// and installs the View as current. Publish must only run at quiescence
-// (no concurrent engine mutation); it takes ownership of cores.
+// and installs the View as current — the O(n) full rebuild. Publish must
+// only run at quiescence (no concurrent engine mutation); it takes
+// ownership of cores, which becomes the backing store of the pages.
 func (p *Publisher) Publish(cores []int32, m int64) *View {
+	numPages := (len(cores) + PageSize - 1) / PageSize
+	pages := make([][]int32, numPages)
+	for i := range pages {
+		lo := i << PageBits
+		hi := lo + PageSize
+		if hi > len(cores) {
+			hi = len(cores)
+		}
+		pages[i] = cores[lo:hi:hi]
+	}
+	hist := bz.CoreHistogram(cores) // one fused pass; len = MaxCore+1
 	v := &View{
 		Epoch:   p.epoch.Add(1),
-		Cores:   cores,
-		MaxCore: bz.MaxCore(cores),
-		Hist:    bz.CoreHistogram(cores),
+		pages:   pages,
+		MaxCore: int32(len(hist)) - 1,
+		Hist:    hist,
 		N:       len(cores),
 		M:       m,
 	}
 	p.cur.Store(v)
+	p.full.Add(1)
 	return v
 }
 
 // PublishUnchanged installs a fresh View that reuses the current View's
-// core arrays and aggregates, updating only the epoch and edge count — an
+// page table and aggregates, updating only the epoch and edge count — an
 // O(1) publication for batches that changed no core number. The caller
 // must guarantee no core number changed since the last Publish; must only
 // run at quiescence, after at least one Publish.
@@ -61,16 +182,89 @@ func (p *Publisher) PublishUnchanged(m int64) *View {
 	old := p.cur.Load()
 	v := &View{
 		Epoch:   p.epoch.Add(1),
-		Cores:   old.Cores,
+		pages:   old.pages,
 		MaxCore: old.MaxCore,
 		Hist:    old.Hist,
 		N:       old.N,
 		M:       m,
 	}
 	p.cur.Store(v)
+	p.unchanged.Add(1)
+	return v
+}
+
+// PublishDelta installs a fresh View derived copy-on-write from the
+// current one: only the pages containing a changed vertex are cloned and
+// patched, Hist is adjusted by ±1 per (oldCore, newCore) pair, and
+// MaxCore is re-derived from the patched histogram. Cost is
+// O(len(changed) + dirtyPages·PageSize + n/PageSize), independent of n's
+// linear term — the point of the paper's |V*|-proportional maintenance.
+//
+// changed must cover every vertex whose core number differs from the
+// current View, with its quiescent core number; duplicate entries and
+// entries whose core did not change (e.g. a vertex that dropped and was
+// re-promoted within one batch) are skipped harmlessly. Must only run at
+// quiescence, after at least one Publish.
+func (p *Publisher) PublishDelta(changed []VertexCore, m int64) *View {
+	old := p.cur.Load()
+	pages := make([][]int32, len(old.pages))
+	copy(pages, old.pages)
+	hist := old.Hist
+	histCopied := false
+	dirtied := make([]bool, len(pages))
+	dirty := 0
+	for _, c := range changed {
+		pi := c.V >> PageBits
+		off := c.V & pageMask
+		oldCore := pages[pi][off]
+		if oldCore == c.Core {
+			continue
+		}
+		if !dirtied[pi] {
+			dirtied[pi] = true
+			dirty++
+			pages[pi] = append(make([]int32, 0, cap(pages[pi])), pages[pi]...)
+		}
+		if !histCopied {
+			histCopied = true
+			hist = append(make([]int64, 0, len(old.Hist)+1), old.Hist...)
+		}
+		pages[pi][off] = c.Core
+		hist[oldCore]--
+		for int(c.Core) >= len(hist) {
+			hist = append(hist, 0)
+		}
+		hist[c.Core]++
+	}
+	// Keep the invariant len(Hist) = MaxCore+1: drop bins emptied by the
+	// batch (re-slicing only; shared arrays are never written).
+	for len(hist) > 1 && hist[len(hist)-1] == 0 {
+		hist = hist[:len(hist)-1]
+	}
+	v := &View{
+		Epoch:   p.epoch.Add(1),
+		pages:   pages,
+		MaxCore: int32(len(hist)) - 1,
+		Hist:    hist,
+		N:       old.N,
+		M:       m,
+	}
+	p.cur.Store(v)
+	p.delta.Add(1)
+	p.dirtyPages.Add(int64(dirty))
 	return v
 }
 
 // Current returns the most recently published View, or nil before the
 // first Publish. Safe for concurrent use.
 func (p *Publisher) Current() *View { return p.cur.Load() }
+
+// Stats returns the publication counters. Safe for concurrent use.
+func (p *Publisher) Stats() PubStats {
+	return PubStats{
+		Full:       p.full.Load(),
+		Delta:      p.delta.Load(),
+		Unchanged:  p.unchanged.Load(),
+		DirtyPages: p.dirtyPages.Load(),
+	}
+}

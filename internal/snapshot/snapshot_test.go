@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 )
@@ -20,9 +21,21 @@ func TestPublishDerivesAggregates(t *testing.T) {
 	if p.Current() != v {
 		t.Fatal("Current must return the published view")
 	}
+	for i, want := range []int32{2, 2, 2, 1, 0} {
+		if got := v.CoreOf(int32(i)); got != want {
+			t.Fatalf("CoreOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := v.CoresInto(nil); len(got) != 5 || got[0] != 2 || got[4] != 0 {
+		t.Fatalf("CoresInto %v", got)
+	}
 	v2 := p.Publish([]int32{1, 1}, 1)
 	if v2.Epoch != 2 {
 		t.Fatalf("epoch = %d, want 2", v2.Epoch)
+	}
+	st := p.Stats()
+	if st.Full != 2 || st.Delta != 0 || st.Unchanged != 0 {
+		t.Fatalf("stats %+v", st)
 	}
 }
 
@@ -50,5 +63,135 @@ func TestEpochsNeverRepeat(t *testing.T) {
 	wg.Wait()
 	if len(seen) != 400 {
 		t.Fatalf("%d distinct epochs, want 400", len(seen))
+	}
+}
+
+// viewEqual asserts that v carries exactly the decomposition in cores.
+func viewEqual(t *testing.T, v *View, cores []int32, m int64) {
+	t.Helper()
+	if v.N != len(cores) || v.M != m {
+		t.Fatalf("N=%d M=%d, want N=%d M=%d", v.N, v.M, len(cores), m)
+	}
+	var ref Publisher
+	want := ref.Publish(append([]int32(nil), cores...), m)
+	got := v.CoresInto(nil)
+	for i := range cores {
+		if got[i] != cores[i] {
+			t.Fatalf("cores[%d] = %d, want %d", i, got[i], cores[i])
+		}
+	}
+	if v.MaxCore != want.MaxCore {
+		t.Fatalf("MaxCore = %d, want %d", v.MaxCore, want.MaxCore)
+	}
+	if len(v.Hist) != len(want.Hist) {
+		t.Fatalf("hist len = %d (%v), want %d (%v)", len(v.Hist), v.Hist, len(want.Hist), want.Hist)
+	}
+	for k := range v.Hist {
+		if v.Hist[k] != want.Hist[k] {
+			t.Fatalf("hist[%d] = %d, want %d", k, v.Hist[k], want.Hist[k])
+		}
+	}
+}
+
+// TestPublishDeltaMatchesFull randomly mutates core numbers across several
+// pages and checks that the chain of delta publications always equals a
+// from-scratch publish of the mutated array.
+func TestPublishDeltaMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 3*PageSize + 123 // four pages, short last page
+	cores := make([]int32, n)
+	for i := range cores {
+		cores[i] = rng.Int31n(8)
+	}
+	var p Publisher
+	p.Publish(append([]int32(nil), cores...), 10)
+	for round := 0; round < 50; round++ {
+		k := rng.Intn(40)
+		changed := make([]VertexCore, 0, k+2)
+		for i := 0; i < k; i++ {
+			v := rng.Int31n(n)
+			cores[v] = rng.Int31n(12)
+			changed = append(changed, VertexCore{V: v, Core: cores[v]})
+		}
+		// Duplicate and no-op entries must be harmless.
+		if k > 0 {
+			changed = append(changed, changed[k-1])
+		}
+		changed = append(changed, VertexCore{V: 0, Core: cores[0]})
+		v := p.PublishDelta(changed, int64(100+round))
+		viewEqual(t, v, cores, int64(100+round))
+	}
+	if st := p.Stats(); st.Delta != 50 {
+		t.Fatalf("delta publishes = %d, want 50", st.Delta)
+	}
+}
+
+// TestPublishDeltaCopyOnWrite: clean pages must be shared with the
+// previous view, dirty pages must be fresh arrays, and the old view must
+// keep its values after the new one is published.
+func TestPublishDeltaCopyOnWrite(t *testing.T) {
+	const n = 2*PageSize + 10
+	cores := make([]int32, n)
+	var p Publisher
+	old := p.Publish(append([]int32(nil), cores...), 0)
+	target := int32(PageSize + 5) // page 1
+	nv := p.PublishDelta([]VertexCore{{V: target, Core: 3}}, 1)
+	if &nv.pages[0][0] != &old.pages[0][0] || &nv.pages[2][0] != &old.pages[2][0] {
+		t.Fatal("clean pages must be shared between views")
+	}
+	if &nv.pages[1][0] == &old.pages[1][0] {
+		t.Fatal("dirty page must be cloned, not patched in place")
+	}
+	if old.CoreOf(target) != 0 || nv.CoreOf(target) != 3 {
+		t.Fatalf("old=%d new=%d, want 0/3", old.CoreOf(target), nv.CoreOf(target))
+	}
+	if st := p.Stats(); st.DirtyPages != 1 {
+		t.Fatalf("dirty pages = %d, want 1", st.DirtyPages)
+	}
+}
+
+// TestPublishDeltaMaxCoreShrinks: removing the only max-core vertex must
+// trim the histogram and lower MaxCore.
+func TestPublishDeltaMaxCoreShrinks(t *testing.T) {
+	var p Publisher
+	p.Publish([]int32{1, 1, 5}, 3)
+	v := p.PublishDelta([]VertexCore{{V: 2, Core: 1}}, 2)
+	if v.MaxCore != 1 || len(v.Hist) != 2 || v.Hist[1] != 3 {
+		t.Fatalf("view %+v hist %v", v, v.Hist)
+	}
+	// And growth: a new top level extends the histogram.
+	v = p.PublishDelta([]VertexCore{{V: 0, Core: 9}}, 2)
+	if v.MaxCore != 9 || len(v.Hist) != 10 || v.Hist[9] != 1 {
+		t.Fatalf("view %+v hist %v", v, v.Hist)
+	}
+}
+
+// TestPublishUnchangedSharesPages: the O(1) path must share the page table
+// itself.
+func TestPublishUnchangedSharesPages(t *testing.T) {
+	var p Publisher
+	old := p.Publish([]int32{2, 1, 0}, 3)
+	v := p.PublishUnchanged(4)
+	if v.Epoch != old.Epoch+1 || v.M != 4 || v.MaxCore != old.MaxCore {
+		t.Fatalf("view %+v", v)
+	}
+	if &v.pages[0][0] != &old.pages[0][0] {
+		t.Fatal("unchanged publish must share pages")
+	}
+	if st := p.Stats(); st.Unchanged != 1 || st.Full != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCoresIntoReusesBuffer(t *testing.T) {
+	var p Publisher
+	v := p.Publish([]int32{3, 2, 1, 0}, 2)
+	buf := make([]int32, 0, 16)
+	out := v.CoresInto(buf)
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("CoresInto must reuse a large-enough buffer")
+	}
+	if len(out) != 4 || out[0] != 3 || out[3] != 0 {
+		t.Fatalf("CoresInto %v", out)
 	}
 }

@@ -74,6 +74,22 @@ func (st *State) PublishSnapshotUnchanged() *snapshot.View {
 	return st.pub.PublishUnchanged(st.G.M())
 }
 
+// PublishSnapshotDelta publishes a copy-on-write view patched from the
+// previous one; changed must cover every vertex whose core number moved
+// since the last publication (a batch's ⋃V*; duplicates are fine). Huge
+// distinct sets fall back to the full rebuild (see snapshot.BuildDelta).
+// Must run at quiescence.
+func (st *State) PublishSnapshotDelta(changed []int32) *snapshot.View {
+	delta, ok := snapshot.BuildDelta(changed, st.G.N(), func(v int32) int32 { return st.core[v].Load() })
+	if !ok {
+		return st.PublishSnapshot()
+	}
+	return st.pub.PublishDelta(delta, st.G.M())
+}
+
+// PubStats reports the snapshot publication counters.
+func (st *State) PubStats() snapshot.PubStats { return st.pub.Stats() }
+
 // Snapshot returns the most recently published view. Never nil: NewState
 // publishes the initial decomposition.
 func (st *State) Snapshot() *snapshot.View { return st.pub.Current() }
@@ -118,11 +134,14 @@ func (st *State) pcd(v, k int32) int32 {
 }
 
 // Stats reports the effect of one operation; VPlus is the number of visited
-// vertices (the searching set), VStar the number of core-number changes.
+// vertices (the searching set), VStar the number of core-number changes and
+// Changed the changed vertices themselves (V*, for delta snapshot
+// publication).
 type Stats struct {
 	Applied bool
 	VPlus   int
 	VStar   int
+	Changed []int32
 }
 
 // InsertEdge inserts (u, v) and updates core numbers with the Traversal
@@ -214,7 +233,7 @@ func (st *State) InsertEdge(u, v int32) Stats {
 		}
 	}
 	st.applyPromotions(promoted, k)
-	return Stats{Applied: true, VPlus: len(visitOrder), VStar: len(promoted)}
+	return Stats{Applied: true, VPlus: len(visitOrder), VStar: len(promoted), Changed: promoted}
 }
 
 // applyPromotions bumps the promoted vertices' cores to k+1 and repairs mcd
@@ -290,7 +309,7 @@ func (st *State) RemoveEdge(u, v int32) Stats {
 	for _, w := range dropped {
 		st.mcd[w].Store(st.computeMCD(w))
 	}
-	return Stats{Applied: true, VPlus: len(dropped), VStar: len(dropped)}
+	return Stats{Applied: true, VPlus: len(dropped), VStar: len(dropped), Changed: dropped}
 }
 
 // CheckInvariants verifies that cores match a fresh decomposition and that

@@ -36,11 +36,13 @@ func (m *Maintainer) Degeneracy() (int32, []int32) {
 // in ascending id order. O(n) over the latest snapshot — no recomputation.
 func (m *Maintainer) KCoreVertices(k int32) []int32 {
 	var out []int32
-	for v, c := range m.view().Cores {
-		if c >= k {
-			out = append(out, int32(v))
+	m.view().ForEachPage(func(start int32, page []int32) {
+		for i, c := range page {
+			if c >= k {
+				out = append(out, start+int32(i))
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -55,12 +57,15 @@ func (m *Maintainer) KCoreSubgraph(k int32) (*graph.Graph, []int32) {
 	)
 	m.barrier(func() {
 		back := make(map[int32]int32)
-		for v, c := range m.eng.view().Cores {
-			if c >= k {
-				back[int32(v)] = int32(len(members))
-				members = append(members, int32(v))
+		m.eng.view().ForEachPage(func(start int32, page []int32) {
+			for i, c := range page {
+				if c >= k {
+					v := start + int32(i)
+					back[v] = int32(len(members))
+					members = append(members, v)
+				}
 			}
-		}
+		})
 		for _, v := range members {
 			nv := back[v]
 			for _, w := range m.eng.g.Adj(v) {
@@ -93,11 +98,13 @@ func (m *Maintainer) CoreLevels() []int32 {
 func (m *Maintainer) TopCoreVertices() []int32 {
 	s := m.view()
 	var out []int32
-	for v, c := range s.Cores {
-		if c >= s.MaxCore {
-			out = append(out, int32(v))
+	s.ForEachPage(func(start int32, page []int32) {
+		for i, c := range page {
+			if c >= s.MaxCore {
+				out = append(out, start+int32(i))
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -43,6 +43,14 @@
 // behind an in-flight batch. An update call's snapshot is published before
 // its future completes, so every caller reads its own writes; Flush gives
 // the same guarantee to third-party readers.
+//
+// Snapshots store core numbers in fixed-size pages behind a page table and
+// are published copy-on-write: a batch that changed no core re-publishes
+// in O(1), and a batch that changed the set V* clones only the pages V*
+// dirtied and patches the histogram incrementally — publication cost
+// O(|V*| + dirtyPages·PageSize), proportional to the change, not to the
+// graph (JoinEdgeSet, which does not report per-vertex changes, is the
+// exception and rebuilds in O(n)).
 package kcore
 
 import (
@@ -127,6 +135,10 @@ type BatchResult struct {
 	// Coalesced is the number of caller ops folded into the engine batch
 	// this result describes; 1 when the op ran alone.
 	Coalesced int
+	// changed accumulates the engines' per-op changed-vertex reports
+	// (⋃V*, possibly with duplicates) — the input to delta snapshot
+	// publication. Not populated by JoinEdgeSet.
+	changed []int32
 	// Contention reports the parallel engine's synchronization counters
 	// (zero value for the other engines): how often conditional locks
 	// aborted, priority queues rebuilt their label snapshots, and removal
@@ -221,14 +233,16 @@ func (m *Maintainer) Workers() int { return m.eng.cfg.workers }
 // view returns the current published snapshot (never nil).
 func (m *Maintainer) view() *snapshot.View { return m.eng.view() }
 
-// CoreOf returns the core number of v in the latest published snapshot.
-// Lock-free; never blocks behind an in-flight batch.
-func (m *Maintainer) CoreOf(v int32) int32 { return m.view().Cores[v] }
+// CoreOf returns the core number of v in the latest published snapshot:
+// one page-table lookup, lock-free, never blocks behind an in-flight
+// batch.
+func (m *Maintainer) CoreOf(v int32) int32 { return m.view().CoreOf(v) }
 
-// CoreNumbers returns a copy of all core numbers in the latest published
-// snapshot. For zero-copy access use Snapshot.
+// CoreNumbers materializes all core numbers of the latest published
+// snapshot into a fresh slice. To reuse a buffer across calls, use
+// Snapshot().CoresInto.
 func (m *Maintainer) CoreNumbers() []int32 {
-	return append([]int32(nil), m.view().Cores...)
+	return m.view().CoresInto(nil)
 }
 
 // MaxCore returns the largest core number in the latest snapshot.
@@ -269,8 +283,8 @@ func (m *Maintainer) barrier(fn func()) {
 }
 
 // ServingStats is a point-in-time view of the serving layer: pipeline
-// counters plus update-latency percentiles (enqueue to future completion,
-// in milliseconds).
+// counters, snapshot-publication counters, and update-latency percentiles
+// (enqueue to future completion, in milliseconds).
 type ServingStats struct {
 	Epoch         uint64
 	QueueDepth    int64
@@ -280,20 +294,34 @@ type ServingStats struct {
 	CanceledOps   int64 // ops annihilated by coalescing
 	Flushes       int64 // barrier ops executed
 	UpdateLatency stats.Percentiles
+
+	// Snapshot publication counters: how each epoch was produced.
+	FullPublishes      int64 // O(n) rebuilds (initial view, JES, huge deltas)
+	DeltaPublishes     int64 // copy-on-write page patches
+	UnchangedPublishes int64 // O(1) re-publications (no core changed)
+	// DirtyPages is the cumulative number of pages cloned by delta
+	// publishes; DirtyPages/DeltaPublishes is the mean pages copied per
+	// delta publication.
+	DirtyPages int64
 }
 
 // ServingStats reports the pipeline's instrumentation counters.
 func (m *Maintainer) ServingStats() ServingStats {
 	s := m.pipe.metrics.Snapshot()
+	p := m.eng.pubStats()
 	return ServingStats{
-		Epoch:         m.Epoch(),
-		QueueDepth:    s.QueueDepth,
-		Enqueued:      s.Enqueued,
-		Batches:       s.Batches,
-		BatchedOps:    s.BatchedOps,
-		CanceledOps:   s.CanceledOps,
-		Flushes:       s.Flushes,
-		UpdateLatency: m.pipe.updLat.Percentiles(),
+		Epoch:              m.Epoch(),
+		QueueDepth:         s.QueueDepth,
+		Enqueued:           s.Enqueued,
+		Batches:            s.Batches,
+		BatchedOps:         s.BatchedOps,
+		CanceledOps:        s.CanceledOps,
+		Flushes:            s.Flushes,
+		UpdateLatency:      m.pipe.updLat.Percentiles(),
+		FullPublishes:      p.Full,
+		DeltaPublishes:     p.Delta,
+		UnchangedPublishes: p.Unchanged,
+		DirtyPages:         p.DirtyPages,
 	}
 }
 
@@ -349,21 +377,38 @@ func (eng *engine) publish() *snapshot.View {
 	return eng.ost.PublishSnapshot()
 }
 
-// publishAfter publishes the post-batch snapshot for res. When the batch
-// changed no core number, the previous view's arrays are reused and
-// publication is O(1) instead of O(n) — the common case for small
-// updates, which mostly touch degrees, not cores. JoinEdgeSet does not
-// report per-vertex core changes, so it always pays the full rebuild.
+// pubStats returns the engine's snapshot publication counters.
+func (eng *engine) pubStats() snapshot.PubStats {
+	if eng.tst != nil {
+		return eng.tst.PubStats()
+	}
+	return eng.ost.PubStats()
+}
+
+// publishAfter publishes the post-batch snapshot for res. Three paths,
+// cheapest first: a batch that changed no core number re-publishes the
+// previous view in O(1); a batch that changed some routes its changed
+// set through the copy-on-write delta publication, cloning only the
+// dirtied pages — O(|V*| + dirtyPages·PageSize), not O(n). JoinEdgeSet
+// does not report per-vertex core changes, so it always pays the full
+// O(n) rebuild.
 func (eng *engine) publishAfter(res *BatchResult) {
-	if res.ChangedVertices == 0 && eng.cfg.alg != JoinEdgeSet {
+	switch {
+	case eng.cfg.alg == JoinEdgeSet:
+		eng.publish()
+	case res.ChangedVertices == 0:
 		if eng.tst != nil {
 			eng.tst.PublishSnapshotUnchanged()
 		} else {
 			eng.ost.PublishSnapshotUnchanged()
 		}
-		return
+	default:
+		if eng.tst != nil {
+			eng.tst.PublishSnapshotDelta(res.changed)
+		} else {
+			eng.ost.PublishSnapshotDelta(res.changed)
+		}
 	}
-	eng.publish()
 }
 
 func (eng *engine) check() error {
@@ -388,6 +433,7 @@ func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
 				res.Applied++
 				res.ChangedVertices += s.VStar
 				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case SequentialOrder:
@@ -400,6 +446,7 @@ func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
 				res.Applied++
 				res.ChangedVertices += s.VStar
 				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case Traversal:
@@ -408,6 +455,7 @@ func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
 			if s.Applied {
 				res.Applied++
 				res.ChangedVertices += s.VStar
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case JoinEdgeSet:
@@ -431,6 +479,7 @@ func (eng *engine) removeBatch(edges []graph.Edge, res *BatchResult) {
 				res.Applied++
 				res.ChangedVertices += s.VStar
 				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case SequentialOrder:
@@ -443,6 +492,7 @@ func (eng *engine) removeBatch(edges []graph.Edge, res *BatchResult) {
 				res.Applied++
 				res.ChangedVertices += s.VStar
 				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case Traversal:
@@ -451,6 +501,7 @@ func (eng *engine) removeBatch(edges []graph.Edge, res *BatchResult) {
 			if s.Applied {
 				res.Applied++
 				res.ChangedVertices += s.VStar
+				res.changed = append(res.changed, s.Changed...)
 			}
 		}
 	case JoinEdgeSet:
@@ -479,6 +530,7 @@ func (eng *engine) applyDirect(op *updateOp) BatchResult {
 	res.Duration = time.Since(start)
 	res.Coalesced = 1
 	eng.publishAfter(&res)
+	res.changed = nil // dead after publication; don't hand it to the caller
 	return res
 }
 
@@ -499,12 +551,18 @@ func (s Snapshot) N() int { return s.v.N }
 // M returns the edge count at publication time.
 func (s Snapshot) M() int64 { return s.v.M }
 
-// CoreOf returns the core number of v.
-func (s Snapshot) CoreOf(v int32) int32 { return s.v.Cores[v] }
+// CoreOf returns the core number of v: one page-table lookup, O(1).
+func (s Snapshot) CoreOf(v int32) int32 { return s.v.CoreOf(v) }
 
-// CoreNumbers returns the full core array. The slice is shared and
-// read-only.
-func (s Snapshot) CoreNumbers() []int32 { return s.v.Cores }
+// CoreNumbers materializes the paged core numbers into a fresh slice.
+// Since the paged-view rewrite this is a materialization (an O(n) copy),
+// not a shared internal slice; callers that materialize repeatedly should
+// hold a buffer and use CoresInto instead.
+func (s Snapshot) CoreNumbers() []int32 { return s.v.CoresInto(nil) }
+
+// CoresInto materializes the paged core numbers into dst (grown if its
+// capacity is short) and returns it, avoiding a fresh allocation per call.
+func (s Snapshot) CoresInto(dst []int32) []int32 { return s.v.CoresInto(dst) }
 
 // MaxCore returns the largest core number.
 func (s Snapshot) MaxCore() int32 { return s.v.MaxCore }

@@ -172,6 +172,9 @@ func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	res.Duration = time.Since(start)
 	res.Coalesced = len(seg)
 	eng.publishAfter(&res)
+	// The changed set is dead after publication; don't let callers that
+	// retain their BatchResult pin a batch's whole ⋃V* in memory.
+	res.changed = nil
 	p.metrics.Batches.Add(1)
 	p.metrics.BatchedOps.Add(int64(len(seg)))
 	p.metrics.CanceledOps.Add(int64(canceled))
