@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json loadserve
+.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve
 
 all: build vet test
 
@@ -20,9 +20,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
 # Snapshot-publication perf trajectory: full rebuild vs copy-on-write
-# delta across n and |V*|, recorded as go test -json output.
+# delta vs the JES dedup+delta path across n and |V*|, recorded as
+# go test -json output.
 bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish' -json ./internal/snapshot > BENCH_serve.json
+
+# Differential fuzzing smoke pass: every registered engine against the
+# BZ oracle on random mixed batches. CI runs this on every push.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMixedBatch -fuzztime 10s ./kcore
 
 loadserve:
 	$(GO) run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 -batch 64 -d 5s -check

@@ -29,6 +29,7 @@ import (
 	"sync"
 
 	"repro/graph"
+	"repro/internal/snapshot"
 	"repro/internal/traversal"
 )
 
@@ -39,6 +40,16 @@ type Stats struct {
 	// MaxGroups is the largest number of level groups run concurrently in
 	// any round — the baseline's effective parallelism ceiling.
 	MaxGroups int
+	// VStar is Σ|V*| over the batch's applied operations: how many
+	// core-number updates the batch caused, counting a vertex once per
+	// operation that moved it.
+	VStar int
+	// Changed is the batch's ⋃V* — every vertex whose core number some
+	// operation moved — deduplicated across rounds and levels, so a
+	// vertex touched at multiple levels is reported once (a distinct-set
+	// reporting contract; the snapshot publisher dedups again on its
+	// own). It is the input to copy-on-write delta snapshot publication.
+	Changed []int32
 }
 
 // InsertEdges applies the batch with the JEI scheme on the Traversal state.
@@ -100,7 +111,8 @@ func runBatch(st *traversal.State, edges []graph.Edge, workers int, insert bool)
 			sem <- struct{}{}
 			go func(k int32, es []graph.Edge) {
 				defer func() { <-sem; wg.Done() }()
-				applied := 0
+				applied, vstar := 0, 0
+				var changed []int32
 				for _, e := range es {
 					// The level may have drifted under earlier
 					// operations of this very round; re-check so
@@ -119,10 +131,14 @@ func runBatch(st *traversal.State, edges []graph.Edge, workers int, insert bool)
 					}
 					if s.Applied {
 						applied++
+						vstar += s.VStar
+						changed = append(changed, s.Changed...)
 					}
 				}
 				appliedMu.Lock()
 				stats.Applied += applied
+				stats.VStar += vstar
+				stats.Changed = append(stats.Changed, changed...)
 				appliedMu.Unlock()
 			}(k, groups[k])
 		}
@@ -142,11 +158,16 @@ func runBatch(st *traversal.State, edges []graph.Edge, workers int, insert bool)
 				}
 				if s.Applied {
 					stats.Applied++
+					stats.VStar += s.VStar
+					stats.Changed = append(stats.Changed, s.Changed...)
 				}
 			}
 			pending = nil
 		}
 	}
+	// A vertex moved by operations at several levels (or in several
+	// rounds) reaches Changed once.
+	stats.Changed = snapshot.Dedup(stats.Changed)
 	return stats
 }
 

@@ -14,10 +14,15 @@ import (
 //     array (the O(n) copy a quiescent engine scan pays) and rebuild the
 //     aggregates from scratch;
 //   - delta: the copy-on-write path — clone only the pages the changed
-//     set dirties and patch the histogram by ± deltas.
+//     set dirties and patch the histogram by ± deltas;
+//   - jes:   the join-edge-set engine's publish path — a raw multi-level
+//     changed report (vertices repeat across rounds) goes through
+//     BuildDelta's dedup and then the same COW patch, i.e. delta plus the
+//     per-report dedup cost.
 //
-// The delta rows should be independent of n and proportional to the dirty
-// page count; `make bench-json` records the numbers in BENCH_serve.json.
+// The delta and jes rows should be independent of n and proportional to
+// the dirty page count; `make bench-json` records the numbers in
+// BENCH_serve.json.
 func BenchmarkSnapshotPublish(b *testing.B) {
 	for _, n := range []int{100_000, 1_000_000} {
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -58,6 +63,36 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					p.PublishDelta(flip[i%2], int64(n))
+				}
+			})
+			b.Run(name+"/jes", func(b *testing.B) {
+				// Raw changed report as the JES engine emits it before
+				// dedup landed in jes.runBatch: every vertex repeated (a
+				// touch at two levels). BuildDelta + PublishDelta is the
+				// publication work one JES batch costs the applier.
+				raw := make([]int32, 0, 2*vstar)
+				for _, v := range verts {
+					raw = append(raw, int32(v))
+				}
+				for _, v := range verts {
+					raw = append(raw, int32(v))
+				}
+				var p Publisher
+				p.Publish(append([]int32(nil), cores...), int64(n))
+				// Pre-warm onto side 1 so iteration 0 (side 0) patches
+				// real pages instead of hitting the no-op skip, exactly
+				// like the delta case above.
+				warm, _ := BuildDelta(raw, n, func(v int32) int32 { return cores[v] + 1 })
+				p.PublishDelta(warm, int64(n))
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					side := int32(i % 2)
+					delta, ok := BuildDelta(raw, n, func(v int32) int32 { return cores[v] + side })
+					if !ok {
+						b.Fatal("unexpected rebuild fallback")
+					}
+					p.PublishDelta(delta, int64(n))
 				}
 			})
 		}

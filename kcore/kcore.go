@@ -49,8 +49,8 @@
 // in O(1), and a batch that changed the set V* clones only the pages V*
 // dirtied and patches the histogram incrementally — publication cost
 // O(|V*| + dirtyPages·PageSize), proportional to the change, not to the
-// graph (JoinEdgeSet, which does not report per-vertex changes, is the
-// exception and rebuilds in O(n)).
+// graph. Every engine — JoinEdgeSet included — reports its per-batch V*
+// through the shared Engine interface to feed this path.
 package kcore
 
 import (
@@ -61,12 +61,8 @@ import (
 
 	"repro/graph"
 	"repro/internal/bz"
-	"repro/internal/core"
-	"repro/internal/jes"
-	"repro/internal/pcore"
 	"repro/internal/snapshot"
 	"repro/internal/stats"
-	"repro/internal/traversal"
 )
 
 // Algorithm selects the maintenance engine.
@@ -85,15 +81,8 @@ const (
 
 // String returns the algorithm's name as used in the paper's plots.
 func (a Algorithm) String() string {
-	switch a {
-	case ParallelOrder:
-		return "ParallelOrder"
-	case SequentialOrder:
-		return "SequentialOrder"
-	case Traversal:
-		return "Traversal"
-	case JoinEdgeSet:
-		return "JoinEdgeSet"
+	if name := algorithmName(a); name != "" {
+		return name
 	}
 	return fmt.Sprintf("Algorithm(%d)", int(a))
 }
@@ -135,9 +124,10 @@ type BatchResult struct {
 	// Coalesced is the number of caller ops folded into the engine batch
 	// this result describes; 1 when the op ran alone.
 	Coalesced int
-	// changed accumulates the engines' per-op changed-vertex reports
-	// (⋃V*, possibly with duplicates) — the input to delta snapshot
-	// publication. Not populated by JoinEdgeSet.
+	// changed accumulates the engines' per-batch changed-vertex reports
+	// (⋃V*; distinct within one Stats report but possibly repeating
+	// across the removal/insertion halves of a coalesced batch) — the
+	// input to delta snapshot publication. Every engine populates it.
 	changed []int32
 	// Contention reports the parallel engine's synchronization counters
 	// (zero value for the other engines): how often conditional locks
@@ -156,24 +146,39 @@ type Contention struct {
 	Evictions     int64 // Backward repositionings
 }
 
-func (c *Contention) add(s pcore.MetricsSnapshot) {
-	c.LockAborts += s.LockAborts
-	c.QueueRebuilds += s.QueueRebuilds
-	c.RemovalRedos += s.RemovalRedos
-	c.Evictions += s.Evictions
+func (c *Contention) merge(o Contention) {
+	c.LockAborts += o.LockAborts
+	c.QueueRebuilds += o.QueueRebuilds
+	c.RemovalRedos += o.RemovalRedos
+	c.Evictions += o.Evictions
 }
 
-// engine owns the maintenance state. Exactly one goroutine mutates it at a
-// time: the pipeline's applier while the pipeline is open, otherwise
-// callers serialized by mu. It deliberately holds no reference back to the
-// Maintainer handle, so an abandoned Maintainer can be collected (a
-// runtime cleanup then stops the applier).
+// merge folds one engine Stats report (one applied sub-batch) into the
+// result handed back to callers.
+func (r *BatchResult) merge(s Stats) {
+	r.Applied += s.Applied
+	r.ChangedVertices += s.ChangedVertices
+	if s.VPlusSizes != nil {
+		if r.VPlusSizes == nil {
+			r.VPlusSizes = s.VPlusSizes
+		} else {
+			r.VPlusSizes = append(r.VPlusSizes, s.VPlusSizes...)
+		}
+	}
+	r.changed = append(r.changed, s.Changed...)
+	r.Contention.merge(s.Contention)
+}
+
+// engine owns the maintenance Engine implementation. Exactly one goroutine
+// drives it at a time: the pipeline's applier while the pipeline is open,
+// otherwise callers serialized by mu. It deliberately holds no reference
+// back to the Maintainer handle, so an abandoned Maintainer can be
+// collected (a runtime cleanup then stops the applier).
 type engine struct {
-	cfg config
-	g   *graph.Graph
-	ost *core.State      // order-based engines
-	tst *traversal.State // traversal-based engines
-	mu  sync.Mutex       // serializes post-Close synchronous applies
+	cfg  config
+	g    *graph.Graph
+	impl Engine     // registered implementation for cfg.alg
+	mu   sync.Mutex // serializes post-Close synchronous applies
 }
 
 // Maintainer tracks core numbers of one dynamic graph. Create it with New;
@@ -200,13 +205,12 @@ func New(g *graph.Graph, opts ...Option) *Maintainer {
 	if cfg.workers < 1 {
 		cfg.workers = 1
 	}
-	eng := &engine{cfg: cfg, g: g}
-	switch cfg.alg {
-	case Traversal, JoinEdgeSet:
-		eng.tst = traversal.NewState(g)
-	default:
-		eng.ost = core.NewState(g)
+	if algorithmName(cfg.alg) == "" {
+		// Unregistered Algorithm values run the default engine; normalize
+		// so Algorithm() reports the engine actually built.
+		cfg.alg = ParallelOrder
 	}
+	eng := &engine{cfg: cfg, g: g, impl: newEngine(cfg.alg, g, cfg.workers)}
 	pipe := newPipeline()
 	go pipe.run(eng)
 	m := &Maintainer{eng: eng, pipe: pipe}
@@ -296,7 +300,7 @@ type ServingStats struct {
 	UpdateLatency stats.Percentiles
 
 	// Snapshot publication counters: how each epoch was produced.
-	FullPublishes      int64 // O(n) rebuilds (initial view, JES, huge deltas)
+	FullPublishes      int64 // O(n) rebuilds (initial view, huge deltas)
 	DeltaPublishes     int64 // copy-on-write page patches
 	UnchangedPublishes int64 // O(1) re-publications (no core changed)
 	// DirtyPages is the cumulative number of pages cloned by delta
@@ -361,153 +365,39 @@ func (m *Maintainer) Check() error {
 }
 
 // view returns the engine's current published snapshot.
-func (eng *engine) view() *snapshot.View {
-	if eng.tst != nil {
-		return eng.tst.Snapshot()
-	}
-	return eng.ost.Snapshot()
-}
-
-// publish builds and installs a fresh snapshot; applier-side, at
-// quiescence only.
-func (eng *engine) publish() *snapshot.View {
-	if eng.tst != nil {
-		return eng.tst.PublishSnapshot()
-	}
-	return eng.ost.PublishSnapshot()
-}
+func (eng *engine) view() *snapshot.View { return eng.impl.currentView() }
 
 // pubStats returns the engine's snapshot publication counters.
-func (eng *engine) pubStats() snapshot.PubStats {
-	if eng.tst != nil {
-		return eng.tst.PubStats()
-	}
-	return eng.ost.PubStats()
-}
+func (eng *engine) pubStats() snapshot.PubStats { return eng.impl.publicationStats() }
 
-// publishAfter publishes the post-batch snapshot for res. Three paths,
+// publishAfter publishes the post-batch snapshot for res. Two paths,
 // cheapest first: a batch that changed no core number re-publishes the
 // previous view in O(1); a batch that changed some routes its changed
 // set through the copy-on-write delta publication, cloning only the
-// dirtied pages — O(|V*| + dirtyPages·PageSize), not O(n). JoinEdgeSet
-// does not report per-vertex core changes, so it always pays the full
-// O(n) rebuild.
+// dirtied pages — O(|V*| + dirtyPages·PageSize), not O(n). Every
+// registered engine reports its per-batch V*, so no engine pays the
+// O(n) rebuild here (huge deltas still fall back to it inside the
+// publisher, where the two costs converge).
 func (eng *engine) publishAfter(res *BatchResult) {
-	switch {
-	case eng.cfg.alg == JoinEdgeSet:
-		eng.publish()
-	case res.ChangedVertices == 0:
-		if eng.tst != nil {
-			eng.tst.PublishSnapshotUnchanged()
-		} else {
-			eng.ost.PublishSnapshotUnchanged()
-		}
-	default:
-		if eng.tst != nil {
-			eng.tst.PublishSnapshotDelta(res.changed)
-		} else {
-			eng.ost.PublishSnapshotDelta(res.changed)
-		}
+	if res.ChangedVertices == 0 {
+		eng.impl.publishUnchanged()
+		return
 	}
+	eng.impl.publishDelta(res.changed)
 }
 
-func (eng *engine) check() error {
-	if eng.tst != nil {
-		return eng.tst.CheckInvariants()
-	}
-	return eng.ost.CheckInvariants()
-}
+func (eng *engine) check() error { return eng.impl.Check() }
 
 // insertBatch runs one insertion batch through the configured engine,
 // accumulating into res. Applier-side (or mu-serialized after Close).
 func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
-	switch eng.cfg.alg {
-	case ParallelOrder:
-		stats, snap := pcore.InsertEdgesMetered(eng.ost, edges, eng.cfg.workers, nil)
-		res.Contention.add(snap)
-		if res.VPlusSizes == nil {
-			res.VPlusSizes = make([]int, 0, len(stats))
-		}
-		for _, s := range stats {
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case SequentialOrder:
-		if res.VPlusSizes == nil {
-			res.VPlusSizes = make([]int, 0, len(edges))
-		}
-		for _, e := range edges {
-			s := eng.ost.InsertEdgeSeq(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VPlus)
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case Traversal:
-		for _, e := range edges {
-			s := eng.tst.InsertEdge(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case JoinEdgeSet:
-		s := jes.InsertEdges(eng.tst, edges, eng.cfg.workers)
-		res.Applied += s.Applied
-	}
+	res.merge(eng.impl.ApplyInsert(edges))
 }
 
 // removeBatch runs one removal batch through the configured engine,
 // accumulating into res. Applier-side (or mu-serialized after Close).
 func (eng *engine) removeBatch(edges []graph.Edge, res *BatchResult) {
-	switch eng.cfg.alg {
-	case ParallelOrder:
-		stats, snap := pcore.RemoveEdgesMetered(eng.ost, edges, eng.cfg.workers, nil)
-		res.Contention.add(snap)
-		if res.VPlusSizes == nil {
-			res.VPlusSizes = make([]int, 0, len(stats))
-		}
-		for _, s := range stats {
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case SequentialOrder:
-		if res.VPlusSizes == nil {
-			res.VPlusSizes = make([]int, 0, len(edges))
-		}
-		for _, e := range edges {
-			s := eng.ost.RemoveEdgeSeq(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.VPlusSizes = append(res.VPlusSizes, s.VStar)
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case Traversal:
-		for _, e := range edges {
-			s := eng.tst.RemoveEdge(e.U, e.V)
-			if s.Applied {
-				res.Applied++
-				res.ChangedVertices += s.VStar
-				res.changed = append(res.changed, s.Changed...)
-			}
-		}
-	case JoinEdgeSet:
-		s := jes.RemoveEdges(eng.tst, edges, eng.cfg.workers)
-		res.Applied += s.Applied
-	}
+	res.merge(eng.impl.ApplyRemove(edges))
 }
 
 // applyDirect is the post-Close path: apply one op synchronously under mu.
