@@ -376,6 +376,42 @@ func BenchmarkServeSingleEdgeWriters(b *testing.B) {
 	}
 }
 
+// BenchmarkVertexChurn measures the streaming-graph growth path: a stream
+// of vertex-arrival batches (each naming a fresh vertex id, auto-growing
+// the universe through the pipeline) interleaved with removals of earlier
+// arrival edges. Publication must stay on the grow/delta paths — the run
+// fails if any post-initial publish fell back to the O(n) rebuild.
+func BenchmarkVertexChurn(b *testing.B) {
+	const baseN, arrivals, attach = 20_000, 200, 4
+	stream := gen.VertexArrivals(baseN, arrivals, attach, benchSeed+3)
+	for _, alg := range []kcore.Algorithm{kcore.ParallelOrder, kcore.JoinEdgeSet} {
+		b.Run(alg.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := kcore.New(gen.ErdosRenyi(baseN, 80_000, benchSeed), kcore.WithAlgorithm(alg), kcore.WithWorkers(4))
+				b.StartTimer()
+				for j, batch := range stream {
+					m.InsertEdges(batch)
+					if j%4 == 3 {
+						m.RemoveEdges(stream[j-2])
+					}
+				}
+				b.StopTimer()
+				st := m.ServingStats()
+				if st.FullPublishes != 1 {
+					b.Fatalf("churn fell back to %d O(n) rebuilds", st.FullPublishes-1)
+				}
+				if st.GrowPublishes == 0 || st.DeltaPublishes == 0 {
+					b.Fatalf("churn missed the grow/delta paths: %+v", st)
+				}
+				m.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(arrivals), "arrivals/op")
+		})
+	}
+}
+
 // BenchmarkWorkerScaling measures the Parallel-Order batch across worker
 // counts on a graph where all vertices share one core value — the case
 // where only Parallel-Order can use more than one worker at all.

@@ -1,14 +1,17 @@
 // Command loadserve is a closed-loop load generator for the serving layer:
 // R reader goroutines issue point queries (CoreOf, with periodic MaxCore /
 // histogram scans) against the latest snapshot while W writer goroutines
-// push insert/remove batches through the coalescing update pipeline. At
-// the end it prints throughput and latency percentiles for both sides plus
-// the pipeline's instrumentation counters.
+// push insert/remove batches through the coalescing update pipeline. With
+// -churn, one extra writer streams vertex arrivals — batches naming fresh
+// vertex ids that auto-grow the universe — and removes a fraction of the
+// arrival edges again, so the run exercises mixed insert/remove/grow
+// traffic. At the end it prints throughput and latency percentiles for
+// both sides plus the pipeline's instrumentation counters.
 //
 // Example:
 //
 //	go run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 \
-//	    -batch 64 -alg parallel -workers 4 -d 5s
+//	    -batch 64 -alg parallel -workers 4 -d 5s -churn
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/gen"
+	"repro/graph"
 	"repro/internal/stats"
 	"repro/kcore"
 )
@@ -38,6 +42,7 @@ func main() {
 		duration = flag.Duration("d", 5*time.Second, "run duration")
 		seed     = flag.Int64("seed", 1, "random seed")
 		check    = flag.Bool("check", false, "verify invariants after the run")
+		churn    = flag.Bool("churn", false, "add a vertex-churn writer: arrival batches on fresh ids (auto-grow) + partial removal")
 	)
 	flag.Parse()
 
@@ -122,6 +127,41 @@ func main() {
 		}(w)
 	}
 
+	if *churn {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + 999))
+			const attach = 4
+			next := int32(*n) // first unseen vertex id
+			for !stop.Load() {
+				// One arrival batch: a handful of fresh vertices, each
+				// wired to random vertices of the universe seen so far.
+				arrivals := max(*batch/attach, 1)
+				edges := make([]graph.Edge, 0, arrivals*attach)
+				for a := 0; a < arrivals; a++ {
+					v := next
+					next++
+					for j := 0; j < attach; j++ {
+						edges = append(edges, graph.Edge{U: v, V: rng.Int31n(v)})
+					}
+				}
+				maint.InsertEdges(edges)
+				writeOps.Add(1)
+				writeEdge.Add(int64(len(edges)))
+				if stop.Load() {
+					return
+				}
+				// Partial departure: drop half of the arrival edges again
+				// (the universe itself only grows), so churn mixes
+				// removals into the growth traffic.
+				maint.RemoveEdges(edges[:len(edges)/2])
+				writeOps.Add(1)
+				writeEdge.Add(int64(len(edges) / 2))
+			}
+		}()
+	}
+
 	start := time.Now()
 	time.Sleep(*duration)
 	stop.Store(true)
@@ -146,8 +186,11 @@ func main() {
 	if st.DeltaPublishes > 0 {
 		pagesPerDelta = float64(st.DirtyPages) / float64(st.DeltaPublishes)
 	}
-	fmt.Printf("publish: full=%d delta=%d unchanged=%d dirty-pages=%d (%.2f pages/delta)\n",
-		st.FullPublishes, st.DeltaPublishes, st.UnchangedPublishes, st.DirtyPages, pagesPerDelta)
+	fmt.Printf("publish: full=%d delta=%d unchanged=%d grow=%d dirty-pages=%d (%.2f pages/delta)\n",
+		st.FullPublishes, st.DeltaPublishes, st.UnchangedPublishes, st.GrowPublishes, st.DirtyPages, pagesPerDelta)
+	if *churn {
+		fmt.Printf("churn: universe grew %d -> %d vertices\n", *n, maint.N())
+	}
 
 	if *check {
 		if err := maint.Check(); err != nil {

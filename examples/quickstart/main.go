@@ -13,7 +13,7 @@ import (
 
 func main() {
 	// A path 0-1-2 plus an isolated vertex 3: everything is core <= 1.
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	m := kcore.New(g) // ParallelOrder engine, 1 worker by default
 
 	fmt.Println("initial cores:", m.CoreNumbers()) // [1 1 1 0]

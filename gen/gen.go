@@ -31,7 +31,7 @@ func ErdosRenyi(n int, m int64, seed int64) *graph.Graph {
 		seen[e] = true
 		edges = append(edges, e)
 	}
-	return graph.FromEdges(n, edges)
+	return graph.MustFromEdges(n, edges)
 }
 
 // BarabasiAlbert grows an n-vertex preferential-attachment graph where every
@@ -69,7 +69,7 @@ func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
 			endpoints = append(endpoints, int32(v), t)
 		}
 	}
-	return graph.FromEdges(n, edges)
+	return graph.MustFromEdges(n, edges)
 }
 
 // RMAT samples a recursive-matrix graph with the canonical partition
@@ -108,7 +108,7 @@ func RMAT(scale int, m int64, seed int64) *graph.Graph {
 		seen[e] = true
 		edges = append(edges, e)
 	}
-	return graph.FromEdges(n, edges)
+	return graph.MustFromEdges(n, edges)
 }
 
 // WattsStrogatz builds a small-world ring lattice over n vertices with k
@@ -150,7 +150,7 @@ func WattsStrogatz(n, k int, p float64, seed int64) *graph.Graph {
 			add(int32(u), int32(v))
 		}
 	}
-	return graph.FromEdges(n, edges)
+	return graph.MustFromEdges(n, edges)
 }
 
 // PowerLawCluster builds a heavy-tailed graph with tunable exponent via a
@@ -190,7 +190,7 @@ func PowerLawCluster(n int, avgDeg float64, exponent float64, seed int64) *graph
 	for i := 0; i+1 < len(stubs); i += 2 {
 		edges = append(edges, graph.Edge{U: stubs[i], V: stubs[i+1]})
 	}
-	return graph.FromEdges(n, edges) // FromEdges strips loops and multi-edges
+	return graph.MustFromEdges(n, edges) // FromEdges strips loops and multi-edges
 }
 
 // TemporalEdge is an edge with an integer timestamp, modeling the KONECT
@@ -220,6 +220,37 @@ func TemporalStream(g *graph.Graph, seed int64) []TemporalEdge {
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
 	return out
+}
+
+// VertexArrivals synthesizes a vertex-arrival stream over an n-vertex
+// universe: count fresh vertices with ids n, n+1, ... arrive in order,
+// each attaching up to `attach` edges to distinct uniformly random
+// earlier vertices (original or previously arrived). Batch i introduces
+// vertex n+i, so feeding the batches to a Maintainer in order exercises
+// grow-on-insert — every batch's first endpoint is one past the universe
+// the previous batches built.
+func VertexArrivals(n, count, attach int, seed int64) [][]graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	batches := make([][]graph.Edge, count)
+	for i := 0; i < count; i++ {
+		v := int32(n + i)
+		attach := attach
+		if attach > int(v) {
+			attach = int(v) // the first arrivals may have few predecessors
+		}
+		chosen := map[int32]bool{}
+		batch := make([]graph.Edge, 0, attach)
+		for len(batch) < attach {
+			t := rng.Int31n(v)
+			if chosen[t] {
+				continue
+			}
+			chosen[t] = true
+			batch = append(batch, graph.Edge{U: v, V: t})
+		}
+		batches[i] = batch
+	}
+	return batches
 }
 
 // SampleEdges picks k distinct existing edges of g uniformly at random —

@@ -132,6 +132,45 @@ func TestTemporalStreamSortedAndComplete(t *testing.T) {
 	}
 }
 
+func TestVertexArrivalsShape(t *testing.T) {
+	const n, count, attach = 100, 40, 3
+	batches := VertexArrivals(n, count, attach, 6)
+	if len(batches) != count {
+		t.Fatalf("%d batches, want %d", len(batches), count)
+	}
+	for i, batch := range batches {
+		v := int32(n + i)
+		if len(batch) != attach {
+			t.Fatalf("batch %d has %d edges, want %d", i, len(batch), attach)
+		}
+		seen := map[int32]bool{}
+		for _, e := range batch {
+			if e.U != v {
+				t.Fatalf("batch %d edge %v: first endpoint must be arriving vertex %d", i, e, v)
+			}
+			if e.V < 0 || e.V >= v {
+				t.Fatalf("batch %d attaches to %d, want an earlier vertex", i, e.V)
+			}
+			if seen[e.V] {
+				t.Fatalf("batch %d attaches to %d twice", i, e.V)
+			}
+			seen[e.V] = true
+		}
+	}
+	// The whole stream over an empty base must still be a consistent graph.
+	var all []graph.Edge
+	for _, b := range batches {
+		all = append(all, b...)
+	}
+	g := graph.MustFromEdges(n, all)
+	if g.N() != n+count {
+		t.Fatalf("N = %d, want %d", g.N(), n+count)
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSampleEdgesAreDistinctAndPresent(t *testing.T) {
 	g := ErdosRenyi(500, 2000, 4)
 	s := SampleEdges(g, 300, 8)

@@ -43,10 +43,34 @@ func New(n int) *Graph {
 	return &Graph{adj: make([][]int32, n)}
 }
 
-// FromEdges builds a graph with n vertices from an edge list, silently
-// dropping self-loops and duplicate edges (paper §6.2: "all of the
-// self-loops and repeated edges are removed").
-func FromEdges(n int, edges []Edge) *Graph {
+// MaxVertexID bounds the vertex ids data-driven construction accepts
+// (FromEdges growth, ReadEdgeList parsing): one corrupt id in an edge
+// list must produce an error, not a universe-sized allocation. Callers
+// that really want a larger pre-sized universe ask for it explicitly
+// with New or Grow.
+const MaxVertexID = 1<<28 - 1
+
+// FromEdges builds a graph with at least n vertices from an edge list,
+// silently dropping self-loops and duplicate edges (paper §6.2: "all of the
+// self-loops and repeated edges are removed"). Endpoints beyond n grow the
+// vertex universe to cover them — edge lists over an open id space Just
+// Work — while a negative endpoint, or one beyond MaxVertexID, is a
+// malformed input and returns an error.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	for _, e := range edges {
+		if e.U < 0 || e.V < 0 {
+			return nil, fmt.Errorf("graph: negative vertex id in edge (%d,%d)", e.U, e.V)
+		}
+		if e.U > MaxVertexID || e.V > MaxVertexID {
+			return nil, fmt.Errorf("graph: vertex id beyond MaxVertexID in edge (%d,%d)", e.U, e.V)
+		}
+		if int(e.U) >= n {
+			n = int(e.U) + 1
+		}
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+	}
 	g := New(n)
 	uniq := normalizeEdges(edges)
 	for _, e := range uniq {
@@ -54,6 +78,16 @@ func FromEdges(n int, edges []Edge) *Graph {
 		g.adj[e.V] = append(g.adj[e.V], e.U)
 	}
 	g.m.Store(int64(len(uniq)))
+	return g, nil
+}
+
+// MustFromEdges is FromEdges for edge lists known to be well-formed
+// (generators, literals in tests); it panics on a negative endpoint.
+func MustFromEdges(n int, edges []Edge) *Graph {
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		panic(err)
+	}
 	return g
 }
 
@@ -163,6 +197,25 @@ func (g *Graph) AddVertex() int32 {
 	return int32(len(g.adj) - 1)
 }
 
+// AddVertices appends k isolated vertices and returns the id of the first
+// (the current N when k <= 0). Amortized O(1) per vertex: the adjacency
+// table grows geometrically like any append.
+func (g *Graph) AddVertices(k int) int32 {
+	first := int32(len(g.adj))
+	if k > 0 {
+		g.adj = append(g.adj, make([][]int32, k)...)
+	}
+	return first
+}
+
+// Grow ensures the graph has at least n vertices, appending isolated ones.
+// It never shrinks. Amortized O(1) per added vertex.
+func (g *Graph) Grow(n int) {
+	if n > len(g.adj) {
+		g.adj = append(g.adj, make([][]int32, n-len(g.adj))...)
+	}
+}
+
 // Clone returns a deep copy of the graph.
 func (g *Graph) Clone() *Graph {
 	c := New(len(g.adj))
@@ -265,7 +318,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 		if err != nil || n != 2 {
 			return nil, fmt.Errorf("graph: bad edge on line %d: %q", lineNo, line)
 		}
-		if u < 0 || v < 0 || u > 1<<30 || v > 1<<30 {
+		if u < 0 || v < 0 || u > MaxVertexID || v > MaxVertexID {
 			return nil, fmt.Errorf("graph: vertex id out of range on line %d", lineNo)
 		}
 		e := Edge{int32(u), int32(v)}
@@ -280,7 +333,7 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return FromEdges(int(maxID)+1, edges), nil
+	return FromEdges(int(maxID)+1, edges)
 }
 
 // WriteEdgeList writes the graph as "u v" lines in canonical order.

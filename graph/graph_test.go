@@ -63,7 +63,7 @@ func TestRemoveEdge(t *testing.T) {
 }
 
 func TestFromEdgesDedup(t *testing.T) {
-	g := FromEdges(4, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}, {3, 1}})
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}, {3, 1}})
 	if g.M() != 3 {
 		t.Fatalf("m = %d, want 3 (dups and self-loop dropped)", g.M())
 	}
@@ -73,7 +73,7 @@ func TestFromEdgesDedup(t *testing.T) {
 }
 
 func TestEdgesCanonical(t *testing.T) {
-	g := FromEdges(5, []Edge{{3, 1}, {0, 4}, {2, 0}})
+	g := MustFromEdges(5, []Edge{{3, 1}, {0, 4}, {2, 0}})
 	es := g.Edges()
 	if len(es) != 3 {
 		t.Fatalf("len = %d", len(es))
@@ -86,7 +86,7 @@ func TestEdgesCanonical(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
-	g := FromEdges(4, []Edge{{0, 1}, {1, 2}})
+	g := MustFromEdges(4, []Edge{{0, 1}, {1, 2}})
 	c := g.Clone()
 	c.AddEdge(2, 3)
 	c.RemoveEdge(0, 1)
@@ -94,6 +94,66 @@ func TestClone(t *testing.T) {
 		t.Fatal("mutating clone leaked into original")
 	}
 	if err := c.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromEdgesRejectsNegative(t *testing.T) {
+	for _, edges := range [][]Edge{
+		{{-1, 2}},
+		{{0, 1}, {3, -7}},
+		{{-4, -4}},
+	} {
+		if g, err := FromEdges(5, edges); err == nil {
+			t.Fatalf("FromEdges(%v) = %v, want error", edges, g)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("MustFromEdges(%v) must panic", edges)
+				}
+			}()
+			MustFromEdges(5, edges)
+		}()
+	}
+}
+
+func TestFromEdgesGrowsPastN(t *testing.T) {
+	g, err := FromEdges(2, []Edge{{0, 1}, {1, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 8, 2", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 7) || g.Degree(5) != 0 {
+		t.Fatal("grown universe malformed")
+	}
+	if err := g.CheckConsistent(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrowAndAddVertices(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}, {1, 2}})
+	g.Grow(2) // never shrinks
+	if g.N() != 3 {
+		t.Fatalf("Grow(2) shrank to N=%d", g.N())
+	}
+	g.Grow(6)
+	if g.N() != 6 || g.M() != 2 {
+		t.Fatalf("N=%d M=%d after Grow(6)", g.N(), g.M())
+	}
+	if first := g.AddVertices(3); first != 6 || g.N() != 9 {
+		t.Fatalf("AddVertices(3) = %d, N=%d", first, g.N())
+	}
+	if first := g.AddVertices(0); first != 9 || g.N() != 9 {
+		t.Fatalf("AddVertices(0) = %d, N=%d", first, g.N())
+	}
+	if !g.AddEdge(8, 0) || !g.HasEdge(0, 8) {
+		t.Fatal("edge to grown vertex must work")
+	}
+	if err := g.CheckConsistent(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -110,7 +170,7 @@ func TestAddVertex(t *testing.T) {
 }
 
 func TestDegreeStats(t *testing.T) {
-	g := FromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
 	if g.MaxDegree() != 3 {
 		t.Fatalf("MaxDegree = %d, want 3", g.MaxDegree())
 	}

@@ -50,7 +50,7 @@ func naiveCore(g *graph.Graph) []int32 {
 }
 
 func TestDecomposeTriangle(t *testing.T) {
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
 	core, order := Decompose(g)
 	want := []int32{2, 2, 2, 1}
 	for v, c := range core {
@@ -71,7 +71,7 @@ func TestDecomposeClique(t *testing.T) {
 			edges = append(edges, graph.Edge{U: u, V: v})
 		}
 	}
-	g := graph.FromEdges(k, edges)
+	g := graph.MustFromEdges(k, edges)
 	core, _ := Decompose(g)
 	for v, c := range core {
 		if c != k-1 {
@@ -97,7 +97,7 @@ func TestDecomposeEmptyAndIsolated(t *testing.T) {
 }
 
 func TestDecomposePath(t *testing.T) {
-	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+	g := graph.MustFromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
 	core, _ := Decompose(g)
 	for v, c := range core {
 		if c != 1 {

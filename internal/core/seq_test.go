@@ -31,7 +31,7 @@ func TestNewStateInvariants(t *testing.T) {
 
 func TestInsertEdgeSeqTriangleGrowth(t *testing.T) {
 	// Path 0-1-2: all cores 1. Closing the triangle raises all to 2.
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	st := NewState(g)
 	res := st.InsertEdgeSeq(0, 2)
 	if !res.Applied {
@@ -51,7 +51,7 @@ func TestInsertEdgeSeqTriangleGrowth(t *testing.T) {
 func TestInsertEdgeSeqNoChange(t *testing.T) {
 	// Bridging two disjoint triangles changes no cores: every vertex
 	// stays at core 2.
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
 		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
 	})
@@ -71,7 +71,7 @@ func TestInsertEdgeSeqNoChange(t *testing.T) {
 func TestInsertEdgeSeqIsolatedAttach(t *testing.T) {
 	// Attaching an isolated vertex to a triangle raises its core 0 -> 1;
 	// the triangle is untouched.
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	st := NewState(g)
 	res := st.InsertEdgeSeq(3, 0)
 	if !res.Applied || res.VStar != 1 {
@@ -84,7 +84,7 @@ func TestInsertEdgeSeqIsolatedAttach(t *testing.T) {
 }
 
 func TestInsertEdgeSeqRejectsDupAndLoop(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
 	st := NewState(g)
 	if st.InsertEdgeSeq(0, 1).Applied || st.InsertEdgeSeq(1, 0).Applied {
 		t.Fatal("duplicate must not apply")
@@ -96,7 +96,7 @@ func TestInsertEdgeSeqRejectsDupAndLoop(t *testing.T) {
 }
 
 func TestRemoveEdgeSeqTriangleShrink(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	st := NewState(g)
 	res := st.RemoveEdgeSeq(0, 2)
 	if !res.Applied || res.VStar == 0 {
@@ -111,7 +111,7 @@ func TestRemoveEdgeSeqTriangleShrink(t *testing.T) {
 }
 
 func TestRemoveEdgeSeqAbsent(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
 	st := NewState(g)
 	if st.RemoveEdgeSeq(0, 2).Applied {
 		t.Fatal("absent edge must not apply")
@@ -120,7 +120,7 @@ func TestRemoveEdgeSeqAbsent(t *testing.T) {
 }
 
 func TestRemoveToIsolation(t *testing.T) {
-	g := graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}})
 	st := NewState(g)
 	st.RemoveEdgeSeq(0, 1)
 	if st.CoreOf(0) != 0 || st.CoreOf(1) != 0 {
@@ -132,7 +132,7 @@ func TestRemoveToIsolation(t *testing.T) {
 // The paper's worked example (Fig. 2): inserting e1=(v,u2), e2=(u2,u3),
 // e3=(u1,u4) raises every core number by one. Vertex ids: v=0, u1..u5=1..5.
 func TestPaperFigure2Insertion(t *testing.T) {
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{U: 0, V: 3},                             // v-u3
 		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}, // u1-u2,u3,u4
 		{U: 2, V: 3}, {U: 2, V: 5}, // u2-u3,u5
@@ -158,7 +158,7 @@ func TestPaperFigure2Insertion(t *testing.T) {
 // The paper's worked example (Fig. 3): removing three edges lowers every
 // core number by one. v=0 core 2, u1..u5=1..5 core 3.
 func TestPaperFigure3Removal(t *testing.T) {
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{U: 0, V: 2}, {U: 0, V: 3},
 		{U: 1, V: 2}, {U: 1, V: 3}, {U: 1, V: 4}, {U: 1, V: 5},
 		{U: 2, V: 3}, {U: 2, V: 4},

@@ -14,6 +14,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/bz"
+	"repro/internal/grow"
 	"repro/internal/om"
 	"repro/internal/snapshot"
 	"repro/internal/spin"
@@ -32,6 +33,13 @@ const McdEmpty int32 = -1
 // (safe because insertion and removal batches never overlap and neither
 // phase reads the other structure). Din and the adjacency of G are only
 // touched while holding the vertex's entry in Locks.
+//
+// The vertex universe is growable: Grow appends fresh vertices at
+// quiescence. The per-vertex slices are re-sliced or reallocated then —
+// safe, because no pointer into them outlives a batch — except Items,
+// whose om.Item nodes are linked into the k-order lists permanently;
+// Items therefore holds pointers into separately allocated blocks that
+// never move.
 type State struct {
 	G *graph.Graph
 
@@ -54,12 +62,57 @@ type State struct {
 	// Locks[v] is the per-vertex CAS spin lock.
 	Locks []spin.Lock
 	// Items[v] is v's node in whichever k-order list currently holds it.
-	Items []om.Item
+	// The pointed-to Items live in block allocations that are never
+	// moved: the OM lists link them by address, so growth must not
+	// relocate existing nodes.
+	Items []*om.Item
 
 	mu    sync.Mutex   // guards list growth
 	lists atomic.Value // []*om.List, one per core number
 
 	pub snapshot.Publisher // epoch-versioned read snapshots
+}
+
+// newItemBlock allocates Items for the vertex range [first, first+count):
+// one block of om.Item nodes (which must never move once linked into a
+// list) plus the pointer slice addressing them.
+func newItemBlock(first, count int) []*om.Item {
+	block := make([]om.Item, count)
+	ptrs := make([]*om.Item, count)
+	for i := range block {
+		block[i].ID = int32(first + i)
+		ptrs[i] = &block[i]
+	}
+	return ptrs
+}
+
+// Grow extends the vertex universe to at least n vertices. New vertices
+// are isolated: core number 0, empty mcd, appended to the tail of the
+// k=0 order list (any position among core-0 vertices is a valid k-order
+// for a vertex with no neighbors). The grown snapshot is published
+// copy-on-write (Hist[0] bumped, fresh zero pages); views held by readers
+// keep their pre-growth N and pages. Must run at quiescence, like every
+// structural operation on the state.
+func (st *State) Grow(n int) {
+	old := st.N()
+	if n <= old {
+		return
+	}
+	st.G.Grow(n)
+	st.Core = grow.Slice(st.Core, n)
+	st.Dout = grow.Slice(st.Dout, n)
+	st.Din = grow.Slice(st.Din, n)
+	st.Mcd = grow.Slice(st.Mcd, n)
+	st.S = grow.Slice(st.S, n)
+	st.T = grow.Slice(st.T, n)
+	st.Locks = grow.Slice(st.Locks, n)
+	st.Items = append(st.Items, newItemBlock(old, n-old)...)
+	list0 := st.List(0)
+	for v := old; v < n; v++ {
+		st.Mcd[v].Store(McdEmpty)
+		list0.InsertAtTail(st.Items[v])
+	}
+	st.pub.PublishGrow(n, st.G.M())
 }
 
 // NewState initializes the state from g: core numbers and the initial
@@ -77,7 +130,7 @@ func NewState(g *graph.Graph) *State {
 		S:     make([]atomic.Uint32, n),
 		T:     make([]atomic.Int32, n),
 		Locks: make([]spin.Lock, n),
-		Items: make([]om.Item, n),
+		Items: newItemBlock(0, n),
 	}
 	cores, order := bz.Decompose(g)
 	maxCore := bz.MaxCore(cores)
@@ -93,7 +146,6 @@ func NewState(g *graph.Graph) *State {
 	for v := 0; v < n; v++ {
 		st.Core[v].Store(cores[v])
 		st.Mcd[v].Store(McdEmpty)
-		st.Items[v].ID = int32(v)
 		dout := int32(0)
 		for _, w := range g.Adj(int32(v)) {
 			if pos[v] < pos[w] {
@@ -105,7 +157,7 @@ func NewState(g *graph.Graph) *State {
 	// Append vertices to their core's list in peeling order; within one
 	// core value the peeling order is the k-order O_k.
 	for _, v := range order {
-		lists[cores[v]].InsertAtTail(&st.Items[v])
+		lists[cores[v]].InsertAtTail(st.Items[v])
 	}
 	st.PublishSnapshot()
 	return st
@@ -201,7 +253,7 @@ func (st *State) BeforeSeq(u, v int32) bool {
 	if cu != cv {
 		return cu < cv
 	}
-	return st.List(cu).Order(&st.Items[u], &st.Items[v])
+	return st.List(cu).Order(st.Items[u], st.Items[v])
 }
 
 // Before is the Parallel-Order comparison of Algorithm 6: it retries until
@@ -221,7 +273,7 @@ func (st *State) Before(u, v int32) bool {
 		if cu != cv {
 			r = cu < cv
 		} else {
-			r = st.List(cu).Order(&st.Items[u], &st.Items[v])
+			r = st.List(cu).Order(st.Items[u], st.Items[v])
 		}
 		if st.S[u].Load() == su && st.S[v].Load() == sv {
 			return r

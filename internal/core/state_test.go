@@ -6,12 +6,13 @@ import (
 
 	"repro/gen"
 	"repro/graph"
+	"repro/internal/om"
 )
 
 func TestNewStateInitialDout(t *testing.T) {
 	// Path 0-1-2-3: BZ peels endpoints first; every vertex's dout must
 	// equal its count of later neighbors and be <= its core (1).
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}})
 	st := NewState(g)
 	for v := int32(0); v < 4; v++ {
 		if d := st.Dout[v].Load(); d > st.CoreOf(v) {
@@ -21,8 +22,70 @@ func TestNewStateInitialDout(t *testing.T) {
 	mustCheck(t, st, "path init")
 }
 
+func TestGrowMintsIsolatedVertices(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	st := NewState(g)
+	items := append([]*om.Item(nil), st.Items...) // pre-growth node addresses
+	preEpoch := st.Snapshot().Epoch
+
+	st.Grow(8)
+	if st.N() != 8 || st.G.N() != 8 {
+		t.Fatalf("N=%d G.N=%d, want 8", st.N(), st.G.N())
+	}
+	st.Grow(4) // never shrinks
+	if st.N() != 8 {
+		t.Fatalf("Grow(4) shrank to %d", st.N())
+	}
+	for v := int32(3); v < 8; v++ {
+		if c := st.CoreOf(v); c != 0 {
+			t.Fatalf("new vertex %d has core %d, want 0", v, c)
+		}
+		if m := st.Mcd[v].Load(); m != McdEmpty {
+			t.Fatalf("new vertex %d has mcd %d, want empty", v, m)
+		}
+		if !st.Items[v].InList() {
+			t.Fatalf("new vertex %d not linked into O_0", v)
+		}
+	}
+	// Growth must not relocate existing OM nodes: the lists link them by
+	// address.
+	for v, it := range items {
+		if st.Items[v] != it {
+			t.Fatalf("Grow moved the om.Item of vertex %d", v)
+		}
+	}
+	snap := st.Snapshot()
+	if snap.Epoch <= preEpoch || snap.N != 8 || snap.CoreOf(7) != 0 {
+		t.Fatalf("grown snapshot not published: %+v", snap)
+	}
+	if ps := st.PubStats(); ps.Grow != 1 {
+		t.Fatalf("pub stats %+v, want 1 grow", ps)
+	}
+	mustCheck(t, st, "after growth")
+
+	// The grown universe must be fully maintainable: wire new vertices in,
+	// spanning old and new ranges, then drop some again.
+	for _, e := range []graph.Edge{{U: 2, V: 5}, {U: 5, V: 6}, {U: 6, V: 2}, {U: 7, V: 0}} {
+		st.InsertEdgeSeq(e.U, e.V)
+	}
+	mustCheck(t, st, "edges into grown range")
+	st.RemoveEdgeSeq(5, 6)
+	mustCheck(t, st, "removal in grown range")
+}
+
+func TestGrowAmortizedReallocation(t *testing.T) {
+	st := NewState(graph.MustFromEdges(1, nil))
+	// Many small grows: the geometric over-allocation must keep total
+	// reallocation work bounded, and every intermediate state valid.
+	for n := 2; n <= 4096; n *= 2 {
+		st.Grow(n + 3)
+		st.InsertEdgeSeq(int32(n), int32(n+1))
+	}
+	mustCheck(t, st, "after repeated growth")
+}
+
 func TestBeforeSeqConsistentWithCores(t *testing.T) {
-	g := graph.FromEdges(5, []graph.Edge{
+	g := graph.MustFromEdges(5, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle: core 2
 		{U: 3, V: 4}, // edge: core 1
 	})
@@ -62,7 +125,7 @@ func TestBeforeMatchesBeforeSeqAtQuiescence(t *testing.T) {
 // Before must wait out an odd order-change status rather than return a
 // half-updated comparison.
 func TestBeforeWaitsForOrderChange(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	st := NewState(g)
 	st.BeginOrderChange(0)
 	done := make(chan bool, 1)
@@ -113,7 +176,7 @@ func TestListGrowthConcurrent(t *testing.T) {
 }
 
 func TestComputeMCDDefinition(t *testing.T) {
-	g := graph.FromEdges(5, []graph.Edge{
+	g := graph.MustFromEdges(5, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle: cores 2
 		{U: 0, V: 3}, {U: 3, V: 4}, // tail: cores 1
 	})
@@ -152,7 +215,7 @@ func TestRecomputeDout(t *testing.T) {
 }
 
 func TestInvalidateMcd(t *testing.T) {
-	st := NewState(graph.FromEdges(2, []graph.Edge{{U: 0, V: 1}}))
+	st := NewState(graph.MustFromEdges(2, []graph.Edge{{U: 0, V: 1}}))
 	st.Mcd[0].Store(1)
 	st.InvalidateMcd(0)
 	if st.Mcd[0].Load() != McdEmpty {
@@ -161,7 +224,7 @@ func TestInvalidateMcd(t *testing.T) {
 }
 
 func TestCoreNumbersSnapshot(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	st := NewState(g)
 	snap := st.CoreNumbers()
 	st.Core[0].Store(99)

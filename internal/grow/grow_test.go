@@ -1,0 +1,42 @@
+package grow
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestSliceGrowsAndPreserves(t *testing.T) {
+	s := make([]int32, 3)
+	s[0], s[1], s[2] = 7, 8, 9
+	s = Slice(s, 10)
+	if len(s) != 10 || s[0] != 7 || s[2] != 9 || s[9] != 0 {
+		t.Fatalf("grown slice %v", s)
+	}
+	if got := Slice(s, 4); len(got) != 10 {
+		t.Fatal("Slice must never shrink")
+	}
+}
+
+func TestSliceAtomicsCarryValues(t *testing.T) {
+	s := make([]atomic.Int32, 2)
+	s[0].Store(5)
+	s = Slice(s, 1000)
+	if s[0].Load() != 5 || s[999].Load() != 0 {
+		t.Fatal("atomic values lost across growth")
+	}
+}
+
+func TestSliceAmortizedCapacity(t *testing.T) {
+	var s []int32
+	reallocs := 0
+	for n := 1; n <= 1<<16; n++ {
+		c := cap(s)
+		s = Slice(s, n)
+		if cap(s) != c {
+			reallocs++
+		}
+	}
+	if reallocs > 20 {
+		t.Fatalf("%d reallocations for 1<<16 single-step grows: not geometric", reallocs)
+	}
+}

@@ -12,7 +12,7 @@ import (
 // verify that for every adjacent pair in the O_5 walk, Order agrees, and
 // that Labels are strictly increasing lexicographically.
 func TestFixtureOrderAudit(t *testing.T) {
-	g := graph.FromEdges(fixtureN, fixtureBase)
+	g := graph.MustFromEdges(fixtureN, fixtureBase)
 	st := core.NewState(g)
 	for _, e := range fixtureBatch[:len(fixtureBatch)-1] {
 		st.InsertEdgeSeq(e.U, e.V)

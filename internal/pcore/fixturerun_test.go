@@ -12,7 +12,7 @@ import (
 // reporting the first insertion that breaks an invariant and the mismatch
 // between the promoted set and the true core-number delta.
 func TestFixtureSeqInsert(t *testing.T) {
-	g := graph.FromEdges(fixtureN, fixtureBase)
+	g := graph.MustFromEdges(fixtureN, fixtureBase)
 	st := core.NewState(g)
 	for i, e := range fixtureBatch {
 		before, _ := bz.Decompose(st.G)

@@ -168,8 +168,8 @@ func (p *insertWorker) backward(w int32) {
 			traceFn("p=%p   evict %d after %d", p, u, pre)
 		}
 		st.BeginOrderChange(u)
-		list.Delete(&st.Items[u])
-		list.InsertAfter(&st.Items[pre], &st.Items[u])
+		list.Delete(st.Items[u])
+		list.InsertAfter(st.Items[pre], st.Items[u])
 		st.EndOrderChange(u)
 		p.recordMove(u)
 		if p.m != nil {
@@ -234,13 +234,13 @@ func (p *insertWorker) commit() {
 		st.BeginOrderChange(w)
 		st.Core[w].Store(p.k + 1)
 		st.Din[w] = 0
-		from.Delete(&st.Items[w])
+		from.Delete(st.Items[w])
 		if anchor == nil {
-			to.InsertAtHead(&st.Items[w])
+			to.InsertAtHead(st.Items[w])
 		} else {
-			to.InsertAfter(anchor, &st.Items[w])
+			to.InsertAfter(anchor, st.Items[w])
 		}
-		anchor = &st.Items[w]
+		anchor = st.Items[w]
 		st.EndOrderChange(w)
 		p.recordMove(w)
 		if p.m != nil {

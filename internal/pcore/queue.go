@@ -72,7 +72,7 @@ func (q *pqueue) enqueue(v int32) {
 	}
 	q.in[v] = true
 	s := q.st.S[v].Load()
-	lt, lb, ver, ok := q.list.Labels(&q.st.Items[v])
+	lt, lb, ver, ok := q.list.Labels(q.st.Items[v])
 	heap.Push(q, pqEntry{v: v, lt: lt, lb: lb, s: s})
 	if !ok || ver != q.ver || s&1 == 1 || q.st.S[v].Load() != s {
 		q.dirty = true
@@ -104,7 +104,7 @@ func (q *pqueue) refresh() {
 				stable = false
 				break
 			}
-			lt, lb, lver, ok := q.list.Labels(&q.st.Items[e.v])
+			lt, lb, lver, ok := q.list.Labels(q.st.Items[e.v])
 			if !ok || lver != ver || q.st.S[e.v].Load() != s {
 				stable = false
 				break

@@ -191,8 +191,8 @@ func (p *removeWorker) commit() {
 	to := st.List(p.k - 1)
 	for _, w := range p.vstar {
 		st.BeginOrderChange(w)
-		from.Delete(&st.Items[w])
-		to.InsertAtTail(&st.Items[w])
+		from.Delete(st.Items[w])
+		to.InsertAtTail(st.Items[w])
 		st.EndOrderChange(w)
 		p.repair = append(p.repair, w)
 		p.repair = append(p.repair, st.G.Adj(w)...)

@@ -15,7 +15,7 @@ import (
 func TestReplayShrunkBatch(t *testing.T) {
 	baseEdges := []graph.Edge{{U: 0, V: 4}, {U: 0, V: 5}, {U: 0, V: 6}, {U: 0, V: 10}, {U: 0, V: 11}, {U: 0, V: 12}, {U: 1, V: 8}, {U: 1, V: 12}, {U: 1, V: 13}, {U: 2, V: 3}, {U: 2, V: 4}, {U: 2, V: 7}, {U: 2, V: 11}, {U: 2, V: 16}, {U: 3, V: 8}, {U: 3, V: 9}, {U: 3, V: 12}, {U: 4, V: 13}, {U: 4, V: 17}, {U: 5, V: 12}, {U: 5, V: 16}, {U: 6, V: 8}, {U: 6, V: 10}, {U: 6, V: 11}, {U: 7, V: 16}, {U: 7, V: 17}, {U: 8, V: 9}, {U: 10, V: 11}, {U: 10, V: 13}, {U: 11, V: 12}, {U: 12, V: 13}, {U: 12, V: 14}, {U: 12, V: 15}, {U: 13, V: 17}, {U: 14, V: 15}, {U: 16, V: 17}}
 	batch := []graph.Edge{{U: 2, V: 13}, {U: 0, V: 16}, {U: 0, V: 3}, {U: 4, V: 7}, {U: 7, V: 12}, {U: 4, V: 5}}
-	base := graph.FromEdges(18, baseEdges)
+	base := graph.MustFromEdges(18, baseEdges)
 	for trial := 0; trial < 4000; trial++ {
 		var mu sync.Mutex
 		var events []string

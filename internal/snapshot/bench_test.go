@@ -18,11 +18,16 @@ import (
 //   - jes:   the join-edge-set engine's publish path — a raw multi-level
 //     changed report (vertices repeat across rounds) goes through
 //     BuildDelta's dedup and then the same COW patch, i.e. delta plus the
-//     per-report dedup cost.
+//     per-report dedup cost;
+//   - grow:  the streaming-graph growth path — PublishGrow mints 8192
+//     fresh vertices (8 new zero pages plus the page-table copy) and a
+//     post-growth PublishDelta patches |V*| vertices inside the grown
+//     tail. The row must stay O(|V*| + newPages·PageSize + n/PageSize):
+//     growth never triggers the O(n) rebuild.
 //
-// The delta and jes rows should be independent of n and proportional to
-// the dirty page count; `make bench-json` records the numbers in
-// BENCH_serve.json.
+// The delta, jes and grow rows should be independent of n's linear term
+// and proportional to the dirty/new page count; `make bench-json` records
+// the numbers in BENCH_serve.json.
 func BenchmarkSnapshotPublish(b *testing.B) {
 	for _, n := range []int{100_000, 1_000_000} {
 		rng := rand.New(rand.NewSource(int64(n)))
@@ -63,6 +68,32 @@ func BenchmarkSnapshotPublish(b *testing.B) {
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					p.PublishDelta(flip[i%2], int64(n))
+				}
+			})
+			b.Run(name+"/grow", func(b *testing.B) {
+				const growBy = 8 * PageSize
+				var p Publisher
+				base := p.Publish(append([]int32(nil), cores...), int64(n))
+				// The grown tail's changed set: vstar fresh vertices
+				// promoted to core 1 right after arrival.
+				tailChanged := make([]VertexCore, vstar)
+				for i := range tailChanged {
+					tailChanged[i] = VertexCore{V: int32(n + (i*growBy)/vstar), Core: 1}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Rewind to the pre-growth view (same package: the
+					// atomic store is all a publish-instant costs), so
+					// every iteration pays one real grow + tail delta
+					// without the universe compounding across iterations.
+					p.cur.Store(base)
+					p.PublishGrow(n+growBy, int64(n))
+					p.PublishDelta(tailChanged, int64(n))
+				}
+				b.StopTimer()
+				if st := p.Stats(); st.Full != 1 {
+					b.Fatalf("post-growth publish fell back to %d full rebuilds", st.Full-1)
 				}
 			})
 			b.Run(name+"/jes", func(b *testing.B) {

@@ -152,6 +152,7 @@ type PubStats struct {
 	Full       int64
 	Delta      int64
 	Unchanged  int64
+	Grow       int64
 	DirtyPages int64
 }
 
@@ -164,6 +165,7 @@ type Publisher struct {
 	full       atomic.Int64
 	delta      atomic.Int64
 	unchanged  atomic.Int64
+	grow       atomic.Int64
 	dirtyPages atomic.Int64
 }
 
@@ -213,6 +215,54 @@ func (p *Publisher) PublishUnchanged(m int64) *View {
 	}
 	p.cur.Store(v)
 	p.unchanged.Add(1)
+	return v
+}
+
+// PublishGrow installs a fresh View whose vertex universe is extended to
+// newN vertices, all new ones entering at core 0. Like PublishDelta it is
+// copy-on-write: the page table is re-sliced, a short last page is cloned
+// and zero-extended, fresh zero pages cover the new tail, and Hist[0] is
+// bumped by the number of minted vertices — O(newPages + n/PageSize),
+// never an O(n) rebuild. Views published earlier keep their shorter page
+// table and N untouched. Must only run at quiescence, after at least one
+// Publish; newN at or below the current N republishes unchanged.
+func (p *Publisher) PublishGrow(newN int, m int64) *View {
+	old := p.cur.Load()
+	if newN <= old.N {
+		return p.PublishUnchanged(m)
+	}
+	numPages := (newN + PageSize - 1) / PageSize
+	pages := make([][]int32, numPages)
+	copy(pages, old.pages)
+	// fullLen returns the capacity page i must have to cover the new N.
+	fullLen := func(i int) int {
+		if hi := (i + 1) << PageBits; hi > newN {
+			return newN - i<<PageBits
+		}
+		return PageSize
+	}
+	if last := len(old.pages) - 1; last >= 0 && len(old.pages[last]) < fullLen(last) {
+		// The old last page was short (old.N not page-aligned): clone and
+		// zero-extend it, leaving the shared original untouched.
+		np := make([]int32, fullLen(last))
+		copy(np, old.pages[last])
+		pages[last] = np
+	}
+	for i := len(old.pages); i < numPages; i++ {
+		pages[i] = make([]int32, fullLen(i))
+	}
+	hist := append(make([]int64, 0, len(old.Hist)), old.Hist...)
+	hist[0] += int64(newN - old.N)
+	v := &View{
+		Epoch:   p.epoch.Add(1),
+		pages:   pages,
+		MaxCore: old.MaxCore,
+		Hist:    hist,
+		N:       newN,
+		M:       m,
+	}
+	p.cur.Store(v)
+	p.grow.Add(1)
 	return v
 }
 
@@ -288,6 +338,7 @@ func (p *Publisher) Stats() PubStats {
 		Full:       p.full.Load(),
 		Delta:      p.delta.Load(),
 		Unchanged:  p.unchanged.Load(),
+		Grow:       p.grow.Load(),
 		DirtyPages: p.dirtyPages.Load(),
 	}
 }

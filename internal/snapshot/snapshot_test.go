@@ -183,6 +183,75 @@ func TestPublishUnchangedSharesPages(t *testing.T) {
 	}
 }
 
+// TestPublishGrowMatchesFull: growing across page boundaries must equal a
+// from-scratch publish of the zero-extended core array, and a post-growth
+// delta must patch the grown tail correctly.
+func TestPublishGrowMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cores := make([]int32, PageSize+57) // short last page
+	for i := range cores {
+		cores[i] = 1 + rng.Int31n(6)
+	}
+	var p Publisher
+	p.Publish(append([]int32(nil), cores...), 10)
+	for _, newN := range []int{
+		len(cores) + 1,  // stays inside the short page
+		PageSize * 2,    // fills page 1 exactly
+		PageSize*4 + 13, // fresh full + short pages
+		PageSize*4 + 13, // no-op: newN == N republishes unchanged
+		PageSize * 4,    // below N: never shrinks
+	} {
+		v := p.PublishGrow(newN, 10)
+		if newN > len(cores) {
+			cores = append(cores, make([]int32, newN-len(cores))...)
+		}
+		viewEqual(t, v, cores, 10)
+	}
+	if st := p.Stats(); st.Grow != 3 || st.Unchanged != 2 {
+		t.Fatalf("stats %+v, want 3 grows + 2 unchanged", st)
+	}
+	// Post-growth delta: patch vertices in the grown tail.
+	tail := int32(len(cores) - 3)
+	cores[tail] = 9
+	v := p.PublishDelta([]VertexCore{{V: tail, Core: 9}}, 11)
+	viewEqual(t, v, cores, 11)
+}
+
+// TestPublishGrowCopyOnWrite: full old pages must be shared, the short old
+// last page must be cloned before extension, and a held pre-growth view
+// must keep its N, aggregates, and values.
+func TestPublishGrowCopyOnWrite(t *testing.T) {
+	const n = PageSize + 100
+	cores := make([]int32, n)
+	for i := range cores {
+		cores[i] = 2
+	}
+	var p Publisher
+	old := p.Publish(append([]int32(nil), cores...), 5)
+	v := p.PublishGrow(3*PageSize, 5)
+	if &v.pages[0][0] != &old.pages[0][0] {
+		t.Fatal("full old pages must be shared")
+	}
+	if &v.pages[1][0] == &old.pages[1][0] {
+		t.Fatal("short last page must be cloned before zero-extension")
+	}
+	if old.N != n || len(old.pages[1]) != 100 || old.Hist[0] != 0 {
+		t.Fatalf("held view mutated: N=%d lastPage=%d hist=%v", old.N, len(old.pages[1]), old.Hist)
+	}
+	if v.N != 3*PageSize || v.Hist[0] != int64(3*PageSize-n) || v.Hist[2] != int64(n) || v.MaxCore != 2 {
+		t.Fatalf("grown view %+v hist %v", v, v.Hist)
+	}
+	for _, u := range []int32{0, n - 1, n, 3*PageSize - 1} {
+		want := int32(0)
+		if u < n {
+			want = 2
+		}
+		if got := v.CoreOf(u); got != want {
+			t.Fatalf("CoreOf(%d) = %d, want %d", u, got, want)
+		}
+	}
+}
+
 func TestCoresIntoReusesBuffer(t *testing.T) {
 	var p Publisher
 	v := p.Publish([]int32{3, 2, 1, 0}, 2)

@@ -22,6 +22,7 @@ import (
 
 	"repro/graph"
 	"repro/internal/bz"
+	"repro/internal/grow"
 	"repro/internal/snapshot"
 )
 
@@ -58,6 +59,22 @@ func NewState(g *graph.Graph) *State {
 	}
 	st.PublishSnapshot()
 	return st
+}
+
+// Grow extends the vertex universe to at least n vertices. New vertices
+// are isolated (core 0, mcd 0 — the zero values). The grown snapshot is
+// published copy-on-write; held views keep their pre-growth N. Must run
+// at quiescence (between batches / jes levels), so reallocating the
+// atomic arrays races with nothing.
+func (st *State) Grow(n int) {
+	old := len(st.core)
+	if n <= old {
+		return
+	}
+	st.G.Grow(n)
+	st.core = grow.Slice(st.core, n)
+	st.mcd = grow.Slice(st.mcd, n)
+	st.pub.PublishGrow(n, st.G.M())
 }
 
 // PublishSnapshot builds an epoch-versioned immutable view of the current

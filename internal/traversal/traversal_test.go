@@ -23,7 +23,7 @@ func TestNewStateMCD(t *testing.T) {
 }
 
 func TestInsertTriangle(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	st := NewState(g)
 	res := st.InsertEdge(0, 2)
 	if !res.Applied || res.VStar == 0 {
@@ -38,7 +38,7 @@ func TestInsertTriangle(t *testing.T) {
 }
 
 func TestInsertNoChangeBridge(t *testing.T) {
-	g := graph.FromEdges(6, []graph.Edge{
+	g := graph.MustFromEdges(6, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
 		{U: 3, V: 4}, {U: 4, V: 5}, {U: 5, V: 3},
 	})
@@ -51,7 +51,7 @@ func TestInsertNoChangeBridge(t *testing.T) {
 }
 
 func TestRemoveTriangle(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	st := NewState(g)
 	res := st.RemoveEdge(0, 2)
 	if !res.Applied || res.VStar != 3 {
@@ -61,7 +61,7 @@ func TestRemoveTriangle(t *testing.T) {
 }
 
 func TestRejectsDegenerate(t *testing.T) {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}})
 	st := NewState(g)
 	if st.InsertEdge(0, 0).Applied || st.InsertEdge(0, 1).Applied {
 		t.Fatal("self-loop/duplicate must not apply")
@@ -70,6 +70,42 @@ func TestRejectsDegenerate(t *testing.T) {
 		t.Fatal("absent removal must not apply")
 	}
 	mustCheck(t, st, "degenerate")
+}
+
+func TestGrowMintsIsolatedVertices(t *testing.T) {
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	st := NewState(g)
+	preEpoch := st.Snapshot().Epoch
+
+	st.Grow(10)
+	st.Grow(5) // never shrinks
+	if len(st.core) != 10 || st.G.N() != 10 {
+		t.Fatalf("N=%d G.N=%d, want 10", len(st.core), st.G.N())
+	}
+	for v := int32(3); v < 10; v++ {
+		if st.CoreOf(v) != 0 || st.MCDOf(v) != 0 {
+			t.Fatalf("new vertex %d: core %d mcd %d, want 0/0", v, st.CoreOf(v), st.MCDOf(v))
+		}
+	}
+	snap := st.Snapshot()
+	if snap.Epoch <= preEpoch || snap.N != 10 || snap.CoreOf(9) != 0 {
+		t.Fatalf("grown snapshot not published: %+v", snap)
+	}
+	if ps := st.PubStats(); ps.Grow != 1 {
+		t.Fatalf("pub stats %+v, want 1 grow", ps)
+	}
+	mustCheck(t, st, "after growth")
+
+	// The grown range must be maintainable: promote new vertices into the
+	// triangle's level, then collapse them again.
+	for _, e := range []graph.Edge{{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 4}, {U: 9, V: 0}} {
+		if !st.InsertEdge(e.U, e.V).Applied {
+			t.Fatalf("insert %v into grown range did not apply", e)
+		}
+	}
+	mustCheck(t, st, "edges into grown range")
+	st.RemoveEdge(4, 5)
+	mustCheck(t, st, "removal in grown range")
 }
 
 func TestMixedWorkload(t *testing.T) {

@@ -75,7 +75,7 @@ func (m *Maintainer) KCoreSubgraph(k int32) (*graph.Graph, []int32) {
 			}
 		}
 	})
-	return graph.FromEdges(len(members), edges), members
+	return graph.MustFromEdges(len(members), edges), members
 }
 
 // CoreLevels returns the non-empty core values in ascending order — the
@@ -111,10 +111,15 @@ func (m *Maintainer) TopCoreVertices() []int32 {
 // RemoveVertex removes every edge incident to v as one maintenance batch
 // (the paper notes vertex deletions reduce to edge-removal sequences,
 // §3.2). The vertex itself remains in the graph as an isolated, core-0
-// vertex. Returns the batch result.
+// vertex. A negative or unseen id is a no-op, like any other removal
+// naming a vertex outside the universe. Returns the batch result.
 func (m *Maintainer) RemoveVertex(v int32) BatchResult {
 	var adj []int32
-	m.barrier(func() { adj = append(adj, m.eng.g.Adj(v)...) })
+	m.barrier(func() {
+		if v >= 0 && int(v) < m.eng.g.N() {
+			adj = append(adj, m.eng.g.Adj(v)...)
+		}
+	})
 	batch := make([]graph.Edge, 0, len(adj))
 	for _, w := range adj {
 		batch = append(batch, graph.Edge{U: v, V: w})

@@ -9,7 +9,7 @@ import (
 
 // triangle + pendant: cores [2 2 2 1].
 func fixtureGraph() *graph.Graph {
-	return graph.FromEdges(4, []graph.Edge{
+	return graph.MustFromEdges(4, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0},
 	})
 }

@@ -82,6 +82,41 @@ var confScenarios = []confScenario{
 			{insert: false, edges: absRem}, // all absent by now
 		}
 	}},
+	{"grow-on-insert", func() (*graph.Graph, []confStep) {
+		// Vertex arrivals interleaved with ordinary edge traffic: every
+		// insert step names fresh ids just past the universe the earlier
+		// steps built, so each step grows the engine mid-script.
+		base := gen.ErdosRenyi(150, 450, 115)
+		ins := gen.SampleNonEdges(base, 60, 116)
+		arr := gen.VertexArrivals(150, 30, 3, 117) // ids 150..179
+		var steps []confStep
+		for i := 0; i < 6; i++ {
+			var batch []graph.Edge
+			for _, a := range arr[i*5 : (i+1)*5] {
+				batch = append(batch, a...)
+			}
+			steps = append(steps, confStep{insert: true, edges: append(batch, ins[i*10:(i+1)*10]...)})
+		}
+		// Departures on the grown range (the universe itself never
+		// shrinks), then re-arrival traffic over the vacated vertices.
+		steps = append(steps,
+			confStep{insert: false, edges: append(append([]graph.Edge{}, arr[0]...), arr[7]...)},
+			confStep{insert: true, edges: arr[0]})
+		return base, steps
+	}},
+	{"grow-jump", func() (*graph.Graph, []confStep) {
+		// A single insert naming a far-away id mints the whole gap at
+		// once; the fresh vertices then form structure of their own.
+		base := gen.ErdosRenyi(80, 240, 118)
+		return base, []confStep{
+			{insert: true, edges: []graph.Edge{{U: 5, V: 200}}},
+			{insert: true, edges: []graph.Edge{
+				{U: 190, V: 191}, {U: 191, V: 192}, {U: 192, V: 190}, // triangle in the gap
+				{U: 200, V: 190},
+			}},
+			{insert: false, edges: []graph.Edge{{U: 192, V: 190}, {U: 5, V: 200}}},
+		}
+	}},
 	{"deep-collapse", func() (*graph.Graph, []confStep) {
 		// Dense small graph: removals drop vertices several core levels,
 		// the multi-level case the Changed dedup contract is about.
@@ -111,6 +146,13 @@ func TestEngineConformance(t *testing.T) {
 				for i, step := range steps {
 					var s Stats
 					if step.insert {
+						// The pipeline's pre-round universe scan: grow for
+						// unseen insert endpoints before the engine round.
+						if target := growTarget(step.edges, base.N()); target > base.N() {
+							eng.Grow(target)
+							mirror.Grow(target)
+							prev = append(prev, make([]int32, target-len(prev))...)
+						}
 						s = eng.ApplyInsert(step.edges)
 						for _, e := range step.edges {
 							if e.U != e.V {

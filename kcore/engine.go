@@ -54,6 +54,13 @@ type Engine interface {
 	ApplyInsert(edges []graph.Edge) Stats
 	// ApplyRemove applies one removal batch and reports what it did.
 	ApplyRemove(edges []graph.Edge) Stats
+	// Grow extends the vertex universe to at least n vertices, all new
+	// ones isolated at core 0, and publishes the grown snapshot
+	// copy-on-write (held views keep their pre-growth N). Amortized O(1)
+	// per minted vertex. Like batch application it must run at
+	// quiescence; the pipeline's applier calls it before any engine
+	// round whose insertions name unseen vertex ids.
+	Grow(n int)
 	// Cores materializes the quiescent core numbers — O(n), for
 	// conformance checks and full snapshot rebuilds.
 	Cores() []int32
@@ -69,9 +76,13 @@ type Engine interface {
 	publicationStats() snapshot.PubStats
 }
 
-// engineState is the snapshot/verification surface shared verbatim by the
-// two state implementations (core.State for the Order family,
-// traversal.State for the Traversal family).
+// engineState is the snapshot/verification/growth surface shared verbatim
+// by the two state implementations (core.State for the Order family,
+// traversal.State for the Traversal family). Both own every per-vertex
+// array an engine needs, so growing the state grows the whole engine: the
+// pcore workers keep only per-edge scratch (maps, reused slices) and the
+// JES scheduler keeps only per-batch level groups — neither holds
+// N-sized state that could go stale across a Grow.
 type engineState interface {
 	Snapshot() *snapshot.View
 	PublishSnapshot() *snapshot.View
@@ -80,18 +91,20 @@ type engineState interface {
 	PubStats() snapshot.PubStats
 	CoreNumbers() []int32
 	CheckInvariants() error
+	Grow(n int)
 }
 
 // stateEngine supplies the state-backed half of Engine by delegation;
 // every engine embeds it over its maintenance state.
 type stateEngine struct{ state engineState }
 
-func (e stateEngine) Cores() []int32                        { return e.state.CoreNumbers() }
-func (e stateEngine) Check() error                          { return e.state.CheckInvariants() }
-func (e stateEngine) currentView() *snapshot.View           { return e.state.Snapshot() }
-func (e stateEngine) publishUnchanged() *snapshot.View      { return e.state.PublishSnapshotUnchanged() }
+func (e stateEngine) Cores() []int32                         { return e.state.CoreNumbers() }
+func (e stateEngine) Check() error                           { return e.state.CheckInvariants() }
+func (e stateEngine) Grow(n int)                             { e.state.Grow(n) }
+func (e stateEngine) currentView() *snapshot.View            { return e.state.Snapshot() }
+func (e stateEngine) publishUnchanged() *snapshot.View       { return e.state.PublishSnapshotUnchanged() }
 func (e stateEngine) publishDelta(ch []int32) *snapshot.View { return e.state.PublishSnapshotDelta(ch) }
-func (e stateEngine) publicationStats() snapshot.PubStats   { return e.state.PubStats() }
+func (e stateEngine) publicationStats() snapshot.PubStats    { return e.state.PubStats() }
 
 // engineRegistry is the registration table — the single dispatch point
 // between Algorithm values and engine implementations. Adding an engine

@@ -9,7 +9,7 @@ import (
 
 // Building a maintainer and applying single-edge updates.
 func ExampleNew() {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
 	m := kcore.New(g)
 	fmt.Println(m.CoreNumbers())
 	m.InsertEdge(0, 2) // close the triangle
@@ -33,7 +33,7 @@ func ExampleMaintainer_InsertEdges() {
 
 // Extracting the densest region after maintenance.
 func ExampleMaintainer_KCoreSubgraph() {
-	g := graph.FromEdges(5, []graph.Edge{
+	g := graph.MustFromEdges(5, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, // triangle
 		{U: 3, V: 0}, {U: 4, V: 3}, // tail
 	})
@@ -45,7 +45,7 @@ func ExampleMaintainer_KCoreSubgraph() {
 
 // Removing a vertex is a batch removal of its incident edges (§3.2).
 func ExampleMaintainer_RemoveVertex() {
-	g := graph.FromEdges(4, []graph.Edge{
+	g := graph.MustFromEdges(4, []graph.Edge{
 		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 3, V: 0},
 	})
 	m := kcore.New(g)
@@ -56,7 +56,7 @@ func ExampleMaintainer_RemoveVertex() {
 
 // Choosing a different maintenance engine.
 func ExampleWithAlgorithm() {
-	g := graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	m := kcore.New(g, kcore.WithAlgorithm(kcore.Traversal))
 	fmt.Println(m.Algorithm(), m.MaxCore())
 	// Output: Traversal 2

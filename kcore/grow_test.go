@@ -1,0 +1,253 @@
+package kcore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/bz"
+)
+
+// TestInsertEdgesAutoGrow: the serving pipeline must grow the vertex
+// universe for insert endpoints beyond N — on every engine — leaving the
+// maintainer byte-equal to a fresh decomposition of the grown graph.
+func TestInsertEdgesAutoGrow(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			base := gen.ErdosRenyi(60, 180, 301)
+			m := New(base, WithAlgorithm(alg), WithWorkers(3))
+			defer m.Close()
+
+			if m.N() != 60 {
+				t.Fatalf("N = %d, want 60", m.N())
+			}
+			// A batch naming fresh vertices 60..63, wired to the old range
+			// and to each other (a triangle, so growth changes cores too).
+			res := m.InsertEdges([]graph.Edge{
+				{U: 10, V: 60}, {U: 61, V: 11},
+				{U: 62, V: 63}, {U: 63, V: 60}, {U: 60, V: 62},
+			})
+			if res.Applied != 5 {
+				t.Fatalf("applied %d of 5 grown-range edges", res.Applied)
+			}
+			if m.N() != 64 {
+				t.Fatalf("N = %d after auto-grow, want 64", m.N())
+			}
+			if c := m.CoreOf(62); c != 2 {
+				t.Fatalf("core of grown triangle vertex = %d, want 2", c)
+			}
+			st := m.ServingStats()
+			if st.GrowPublishes == 0 {
+				t.Fatal("growth must publish through the grow path")
+			}
+			// The post-growth batch publication must stay on the delta
+			// path: growth must not degrade publication to O(n) rebuilds.
+			if st.DeltaPublishes == 0 || st.FullPublishes != 1 {
+				t.Fatalf("publish counters %+v: want delta publishes and only the initial full", st)
+			}
+			if err := m.Check(); err != nil {
+				t.Fatal(err)
+			}
+			truth := Decompose(m.Graph())
+			for v, want := range truth {
+				if got := m.CoreOf(int32(v)); got != want {
+					t.Fatalf("core[%d] = %d, want %d", v, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAddVerticesPreallocates: explicit growth is visible immediately
+// (read-your-writes) and the new range accepts edges.
+func TestAddVerticesPreallocates(t *testing.T) {
+	m := New(gen.ErdosRenyi(40, 120, 302))
+	defer m.Close()
+	if n := m.AddVertices(10); n != 50 || m.N() != 50 {
+		t.Fatalf("AddVertices = %d, N = %d, want 50", n, m.N())
+	}
+	if n := m.AddVertices(0); n != 50 {
+		t.Fatalf("AddVertices(0) = %d, want 50", n)
+	}
+	if c := m.CoreOf(49); c != 0 {
+		t.Fatalf("pre-allocated vertex core = %d, want 0", c)
+	}
+	if res := m.InsertEdge(49, 0); res.Applied != 1 {
+		t.Fatal("edge to pre-allocated vertex must apply")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMalformedAndUnseenOpsDropped: negative-endpoint ops are dropped
+// from both halves, and removals naming unseen vertices are dropped
+// without growing the universe.
+func TestMalformedAndUnseenOpsDropped(t *testing.T) {
+	m := New(gen.ErdosRenyi(30, 90, 303))
+	defer m.Close()
+	if res := m.InsertEdges([]graph.Edge{{U: -1, V: 5}, {U: 3, V: -9}}); res.Applied != 0 {
+		t.Fatalf("negative-endpoint inserts applied: %+v", res)
+	}
+	if res := m.RemoveEdges([]graph.Edge{{U: -2, V: 1}, {U: 4, V: 1000}}); res.Applied != 0 {
+		t.Fatalf("malformed/unseen removals applied: %+v", res)
+	}
+	if m.N() != 30 {
+		t.Fatalf("N = %d: removals/malformed ops must not grow the universe", m.N())
+	}
+	// Mixed batch: the valid op must survive the drops.
+	if res := m.InsertEdges([]graph.Edge{{U: -1, V: 5}, {U: 0, V: 35}}); res.Applied != 1 {
+		t.Fatalf("valid op dropped alongside malformed one: %+v", res)
+	}
+	if m.N() != 36 {
+		t.Fatalf("N = %d, want 36", m.N())
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMaxVerticesCeiling: ids at or beyond the WithMaxVertices ceiling
+// are dropped instead of growing the universe, and AddVertices clamps —
+// one corrupted id must not wedge the applier in a huge allocation.
+func TestMaxVerticesCeiling(t *testing.T) {
+	m := New(gen.ErdosRenyi(30, 90, 305), WithMaxVertices(40))
+	defer m.Close()
+	if res := m.InsertEdges([]graph.Edge{{U: 0, V: 1 << 30}, {U: 2, V: 40}}); res.Applied != 0 {
+		t.Fatalf("beyond-ceiling inserts applied: %+v", res)
+	}
+	if m.N() != 30 {
+		t.Fatalf("N = %d: beyond-ceiling ids must not grow", m.N())
+	}
+	if res := m.InsertEdge(3, 39); res.Applied != 1 {
+		t.Fatal("insert below the ceiling must grow and apply")
+	}
+	if n := m.AddVertices(100); n != 40 || m.N() != 40 {
+		t.Fatalf("AddVertices must clamp to the ceiling, got %d", n)
+	}
+	// The ceiling never cuts below an already-bigger construction graph.
+	bigBase := gen.ErdosRenyi(50, 150, 306)
+	free := gen.SampleNonEdges(bigBase, 1, 308)[0]
+	big := New(bigBase, WithMaxVertices(10))
+	defer big.Close()
+	if res := big.InsertEdge(free.U, free.V); res.Applied != 1 {
+		t.Fatal("in-universe insert must apply despite a lower ceiling")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRemoveVertexUnseen: vertex removal outside the universe is a
+// no-op, consistent with unseen-edge removals.
+func TestRemoveVertexUnseen(t *testing.T) {
+	m := New(gen.ErdosRenyi(20, 60, 307))
+	defer m.Close()
+	for _, v := range []int32{-3, 20, 1000} {
+		if res := m.RemoveVertex(v); res.Applied != 0 {
+			t.Fatalf("RemoveVertex(%d) applied %d edges", v, res.Applied)
+		}
+	}
+	if m.N() != 20 {
+		t.Fatalf("N = %d after unseen removals, want 20", m.N())
+	}
+	if res := m.RemoveVertex(5); res.Applied == 0 {
+		t.Fatal("in-universe RemoveVertex must strip incident edges")
+	}
+	if err := m.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeldViewsStableAcrossGrowth is the growth race test: readers hold
+// pre-growth snapshots and hammer queries while the applier grows the
+// universe and publishes post-growth batches. Held views must stay
+// byte-stable (their N and every core), which the race detector verifies
+// against the COW publication path under `make race`.
+func TestHeldViewsStableAcrossGrowth(t *testing.T) {
+	for _, alg := range Algorithms() {
+		alg := alg
+		t.Run(alg.String(), func(t *testing.T) {
+			t.Parallel()
+			const baseN = 200
+			base := gen.ErdosRenyi(baseN, 800, 304)
+			m := New(base, WithAlgorithm(alg), WithWorkers(3))
+			defer m.Close()
+
+			held := m.Snapshot()
+			wantN := held.N()
+			wantCores := held.CoreNumbers()
+
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					v := int32(r)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						// Fresh snapshots may see any N >= baseN; the held
+						// one must never move.
+						s := m.Snapshot()
+						if s.N() < baseN {
+							panic(fmt.Sprintf("snapshot N shrank to %d", s.N()))
+						}
+						m.CoreOf(v % int32(baseN))
+						if held.N() != wantN {
+							panic("held view's N changed")
+						}
+						held.CoreOf(v % int32(wantN))
+						v++
+					}
+				}(r)
+			}
+
+			next := int32(baseN)
+			for round := 0; round < 30; round++ {
+				// Mixed traffic: edges inside the old range, plus arrivals
+				// naming fresh vertices (auto-grow mid-run).
+				m.InsertEdges([]graph.Edge{
+					{U: next % baseN, V: (next + 7) % baseN},
+					{U: next, V: next % baseN},
+					{U: next + 1, V: next},
+				})
+				m.RemoveEdge(next%baseN, (next+7)%baseN)
+				next += 2
+			}
+			m.Flush()
+			close(stop)
+			wg.Wait()
+
+			if held.N() != wantN {
+				t.Fatalf("held view N = %d, want %d", held.N(), wantN)
+			}
+			for v, want := range wantCores {
+				if got := held.CoreOf(int32(v)); got != want {
+					t.Fatalf("held view core[%d] = %d, want %d", v, got, want)
+				}
+			}
+			if m.N() != int(next) {
+				t.Fatalf("N = %d after churn, want %d", m.N(), next)
+			}
+			if err := m.Check(); err != nil {
+				t.Fatal(err)
+			}
+			truth, _ := bz.Decompose(m.Graph())
+			snap := m.Snapshot()
+			for v, want := range truth {
+				if got := snap.CoreOf(int32(v)); got != want {
+					t.Fatalf("core[%d] = %d, want %d", v, got, want)
+				}
+			}
+		})
+	}
+}

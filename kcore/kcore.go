@@ -51,10 +51,18 @@
 // O(|V*| + dirtyPages·PageSize), proportional to the change, not to the
 // graph. Every engine — JoinEdgeSet included — reports its per-batch V*
 // through the shared Engine interface to feed this path.
+//
+// The vertex universe grows on demand: the applier scans each coalesced
+// batch before the engine round and grows graph, engine state, and
+// snapshot to cover unseen insert endpoints, so streaming workloads that
+// mint vertex ids continuously need no pre-sizing (AddVertices
+// pre-allocates when the arrival rate is known). Growth is itself a
+// copy-on-write publication; snapshots held across it never change.
 package kcore
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -93,7 +101,14 @@ type Option func(*config)
 type config struct {
 	alg     Algorithm
 	workers int
+	maxN    int
 }
+
+// DefaultMaxVertices is the default auto-growth ceiling (~16.7M
+// vertices): large enough for any workload this system targets, small
+// enough that one corrupted id cannot make the applier attempt a
+// multi-gigabyte allocation. See WithMaxVertices.
+const DefaultMaxVertices = 1 << 24
 
 // WithAlgorithm selects the maintenance engine; the default is
 // ParallelOrder.
@@ -103,6 +118,15 @@ func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.alg = a } }
 // engines (ParallelOrder, JoinEdgeSet). Sequential engines ignore it.
 // The default is 1.
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithMaxVertices bounds the vertex universe: updates naming ids at or
+// beyond n are dropped like malformed ops instead of growing the
+// maintainer — per-vertex state is a few hundred bytes, so an
+// uncapped adversarial id would otherwise wedge the applier in a huge
+// allocation. The default is DefaultMaxVertices; the bound is raised to
+// the construction graph's N when that is larger, and AddVertices
+// clamps to it too.
+func WithMaxVertices(n int) Option { return func(c *config) { c.maxN = n } }
 
 // BatchResult reports the outcome of one batch. When the pipeline folds
 // several concurrent caller ops into one engine batch, every caller
@@ -198,12 +222,20 @@ type Maintainer struct {
 // Close releases the applier goroutine early; otherwise it is stopped
 // automatically when the Maintainer becomes unreachable.
 func New(g *graph.Graph, opts ...Option) *Maintainer {
-	cfg := config{alg: ParallelOrder, workers: 1}
+	cfg := config{alg: ParallelOrder, workers: 1, maxN: DefaultMaxVertices}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	if cfg.workers < 1 {
 		cfg.workers = 1
+	}
+	if cfg.maxN < g.N() {
+		cfg.maxN = g.N() // never below the universe we already have
+	}
+	if cfg.maxN > math.MaxInt32 {
+		// Vertex ids are int32; a larger ceiling would wrap the scan's
+		// comparison negative and silently drop every insert.
+		cfg.maxN = math.MaxInt32
 	}
 	if algorithmName(cfg.alg) == "" {
 		// Unregistered Algorithm values run the default engine; normalize
@@ -303,6 +335,7 @@ type ServingStats struct {
 	FullPublishes      int64 // O(n) rebuilds (initial view, huge deltas)
 	DeltaPublishes     int64 // copy-on-write page patches
 	UnchangedPublishes int64 // O(1) re-publications (no core changed)
+	GrowPublishes      int64 // vertex-universe growths (COW page appends)
 	// DirtyPages is the cumulative number of pages cloned by delta
 	// publishes; DirtyPages/DeltaPublishes is the mean pages copied per
 	// delta publication.
@@ -325,6 +358,7 @@ func (m *Maintainer) ServingStats() ServingStats {
 		FullPublishes:      p.Full,
 		DeltaPublishes:     p.Delta,
 		UnchangedPublishes: p.Unchanged,
+		GrowPublishes:      p.Grow,
 		DirtyPages:         p.DirtyPages,
 	}
 }
@@ -354,6 +388,37 @@ func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
 	op := &updateOp{kind: opRemove, edges: edges, done: make(chan BatchResult, 1)}
 	return m.pipe.enqueue(m.eng, op)
 }
+
+// AddVertices grows the vertex universe by k fresh isolated vertices
+// (core number 0) at a quiescent point ordered after every earlier
+// update, and returns the new vertex count (growth clamps to the
+// WithMaxVertices ceiling). It is the pre-allocation path for streaming
+// workloads that know vertices are coming; plain InsertEdges on unseen
+// ids grows automatically. The grown snapshot is
+// published before the call returns (read-your-writes: queries
+// immediately see the new N), copy-on-write — views already held by
+// readers keep their pre-growth N and core pages.
+func (m *Maintainer) AddVertices(k int) int {
+	var n int
+	m.barrier(func() {
+		if k > 0 {
+			target := m.eng.g.N() + k
+			if target > m.eng.cfg.maxN {
+				target = m.eng.cfg.maxN // the WithMaxVertices ceiling
+			}
+			if target > m.eng.g.N() {
+				m.eng.impl.Grow(target)
+			}
+		}
+		n = m.eng.g.N()
+	})
+	return n
+}
+
+// N returns the vertex count of the latest published snapshot. It grows
+// when a batch names unseen vertex ids or AddVertices runs, and never
+// shrinks.
+func (m *Maintainer) N() int { return m.view().N }
 
 // Check verifies every internal invariant of the maintainer against a
 // fresh core decomposition, at a quiescent point ordered after every
@@ -388,6 +453,66 @@ func (eng *engine) publishAfter(res *BatchResult) {
 
 func (eng *engine) check() error { return eng.impl.Check() }
 
+// prepareBatch is the quiescent-point universe scan run before every
+// engine round; it makes updates naming unseen vertex ids Just Work.
+// Insertions drive growth: any insert endpoint at or beyond the current N
+// grows the universe (graph, engine state, snapshot) to cover it before
+// the batch executes, up to the configured WithMaxVertices ceiling.
+// Removals never grow — an edge at an unseen vertex is necessarily
+// absent, so such ops are dropped like any other absent removal. Ops
+// naming a negative vertex id (malformed, mirroring graph.FromEdges
+// which rejects them) or one at or beyond the ceiling are dropped from
+// both halves.
+func (eng *engine) prepareBatch(removes, inserts []graph.Edge) ([]graph.Edge, []graph.Edge) {
+	maxN := int32(eng.cfg.maxN)
+	inserts = filterEdges(inserts, func(e graph.Edge) bool {
+		return e.U >= 0 && e.V >= 0 && e.U < maxN && e.V < maxN
+	})
+	if target := growTarget(inserts, eng.g.N()); target > eng.g.N() {
+		eng.impl.Grow(target)
+	}
+	n := int32(eng.g.N())
+	removes = filterEdges(removes, func(e graph.Edge) bool {
+		return e.U >= 0 && e.V >= 0 && e.U < n && e.V < n
+	})
+	return removes, inserts
+}
+
+// growTarget returns the universe size covering every endpoint of edges,
+// starting from n.
+func growTarget(edges []graph.Edge, n int) int {
+	for _, e := range edges {
+		if int(e.U) >= n {
+			n = int(e.U) + 1
+		}
+		if int(e.V) >= n {
+			n = int(e.V) + 1
+		}
+	}
+	return n
+}
+
+// filterEdges returns edges without the entries failing keep, copying
+// lazily: the all-kept common case returns the input as-is, and a batch
+// needing drops is rebuilt fresh — the input, which on the pipeline's
+// lone-op fast path is the caller's own slice, is never mutated.
+func filterEdges(edges []graph.Edge, keep func(graph.Edge) bool) []graph.Edge {
+	for i, e := range edges {
+		if keep(e) {
+			continue
+		}
+		out := make([]graph.Edge, i, len(edges)-1)
+		copy(out, edges[:i])
+		for _, e := range edges[i+1:] {
+			if keep(e) {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	return edges
+}
+
 // insertBatch runs one insertion batch through the configured engine,
 // accumulating into res. Applier-side (or mu-serialized after Close).
 func (eng *engine) insertBatch(edges []graph.Edge, res *BatchResult) {
@@ -408,9 +533,11 @@ func (eng *engine) applyDirect(op *updateOp) BatchResult {
 	var res BatchResult
 	switch op.kind {
 	case opInsert:
-		eng.insertBatch(op.edges, &res)
+		_, inserts := eng.prepareBatch(nil, op.edges)
+		eng.insertBatch(inserts, &res)
 	case opRemove:
-		eng.removeBatch(op.edges, &res)
+		removes, _ := eng.prepareBatch(op.edges, nil)
+		eng.removeBatch(removes, &res)
 	case opBarrier:
 		if op.fn != nil {
 			op.fn()

@@ -15,7 +15,7 @@ import (
 var allAlgorithms = Algorithms()
 
 func TestSingleEdgeHelpers(t *testing.T) {
-	m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	m := New(graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
 	res := m.InsertEdge(0, 2)
 	if !(res.Applied == 1 && m.CoreOf(0) == 2) {
 		t.Fatalf("InsertEdge: %+v core=%d", res, m.CoreOf(0))
@@ -33,7 +33,7 @@ func TestSingleEdgeHelpers(t *testing.T) {
 }
 
 func TestHistogramAndMaxCore(t *testing.T) {
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	m := New(g)
 	if m.MaxCore() != 2 {
 		t.Fatalf("MaxCore = %d", m.MaxCore())
@@ -97,7 +97,7 @@ func TestConcurrentBatchesSerialize(t *testing.T) {
 }
 
 func TestDecomposeStandalone(t *testing.T) {
-	g := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	g := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
 	cores := Decompose(g)
 	want := []int32{2, 2, 2, 1}
 	for v := range want {

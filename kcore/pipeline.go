@@ -154,14 +154,17 @@ func (p *pipeline) process(eng *engine, pending []*updateOp) {
 	}
 }
 
-// applySegment coalesces one run of update ops, applies the mixed batch
-// (removals, then insertions — the two edge sets are disjoint after
+// applySegment coalesces one run of update ops, grows the vertex universe
+// to cover any unseen insert endpoints (dropping malformed and
+// guaranteed-absent ops; see engine.prepareBatch), applies the mixed
+// batch (removals, then insertions — the two edge sets are disjoint after
 // coalescing, so the order is immaterial to the final state), publishes
 // the post-batch snapshot, and completes every future with the shared
 // result of the coalesced batch.
 func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	removes, inserts, canceled := coalesce(seg)
 	start := time.Now()
+	removes, inserts = eng.prepareBatch(removes, inserts)
 	var res BatchResult
 	if len(removes) > 0 {
 		eng.removeBatch(removes, &res)

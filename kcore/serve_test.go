@@ -55,7 +55,7 @@ func TestCoalesceLastOpWins(t *testing.T) {
 // applier, both ops are enqueued behind it, and releasing the barrier must
 // drain them as one coalesced batch that leaves the graph unchanged.
 func TestPipelineCoalescesCancelingPair(t *testing.T) {
-	base := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	base := graph.MustFromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
 	m := New(base)
 	defer m.Close()
 	before := m.ServingStats()
@@ -111,7 +111,7 @@ func TestPipelineCoalescesCancelingPair(t *testing.T) {
 // the moment the call returns, for every engine.
 func TestReadYourWrites(t *testing.T) {
 	for _, alg := range allAlgorithms {
-		m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}), WithAlgorithm(alg))
+		m := New(graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}), WithAlgorithm(alg))
 		if m.CoreOf(0) != 1 {
 			t.Fatalf("%v: initial core = %d", alg, m.CoreOf(0))
 		}
@@ -297,7 +297,7 @@ func TestConcurrentWritersConverge(t *testing.T) {
 // TestCloseFallback: after Close, updates must keep working synchronously
 // and remain visible to queries; Close must be idempotent.
 func TestCloseFallback(t *testing.T) {
-	m := New(graph.FromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	m := New(graph.MustFromEdges(3, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
 	m.Close()
 	m.Close() // idempotent
 	res := m.InsertEdge(0, 2)
