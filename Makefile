@@ -19,16 +19,30 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Snapshot-publication perf trajectory: full rebuild vs copy-on-write
-# delta vs the JES dedup+delta path across n and |V*|, recorded as
-# go test -json output.
+# Serving perf trajectory, recorded as go test -json output: the
+# snapshot-publication families (full rebuild vs copy-on-write delta vs
+# JES dedup+delta vs grow, across n and |V*|) and the networked RESP
+# stack (pipelined vs unpipelined reads and writes over loopback TCP).
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish' -json ./internal/snapshot > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP' -json ./internal/snapshot ./server > BENCH_serve.json
 
-# Differential fuzzing smoke pass: every registered engine against the
-# BZ oracle on random mixed batches. CI runs this on every push.
+# Fuzzing smoke pass: the engine differential fuzzer (every registered
+# engine against the BZ oracle on random mixed batches) and the RESP
+# codec round-trip fuzzer. CI runs both on every push.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMixedBatch -fuzztime 10s ./kcore
+	$(GO) test -run '^$$' -fuzz FuzzRESP -fuzztime 10s ./resp
 
 loadserve:
 	$(GO) run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 -batch 64 -d 5s -check
+
+# The networked stack end to end: kcored on an ER graph, driven by
+# loadserve over TCP, invariant-checked server-side at the end. The PID
+# is captured explicitly — job-control specs like %1 are not available
+# in make's non-interactive /bin/sh.
+loadserve-net:
+	$(GO) run ./cmd/graphgen -model er -n 50000 -m 200000 > /tmp/kcored-er.txt
+	$(GO) build -o /tmp/kcored ./cmd/kcored
+	/tmp/kcored -addr 127.0.0.1:16380 -load /tmp/kcored-er.txt -quiet & pid=$$!; \
+	sleep 2 && $(GO) run ./cmd/loadserve -net 127.0.0.1:16380 -readers 8 -writers 2 -d 5s -check; \
+	status=$$?; kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null; exit $$status

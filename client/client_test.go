@@ -1,0 +1,156 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"testing"
+
+	"repro/client"
+	"repro/gen"
+	"repro/kcore"
+	"repro/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	m := kcore.New(gen.ErdosRenyi(200, 800, 11))
+	srv := server.New(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		srv.Close()
+		m.Close()
+	})
+	return ln.Addr().String()
+}
+
+func TestDoSendFlushReceive(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if s, err := client.String(c.Do("PING")); err != nil || s != "PONG" {
+		t.Fatalf("PING = %q, %v", s, err)
+	}
+
+	// Send/Flush/Receive accounting: three sends owe three receives.
+	for i := 0; i < 3; i++ {
+		if err := c.Send("CORE.GET", i); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := client.Int(c.Receive()); err != nil {
+			t.Fatalf("Receive %d: %v", i, err)
+		}
+	}
+
+	// Do after unreceived Sends settles the backlog and returns its own
+	// reply.
+	c.Send("CORE.GET", 1)
+	c.Send("CORE.GET", 2)
+	if s, err := client.String(c.Do("PING", "tail")); err != nil || s != "tail" {
+		t.Fatalf("Do after Sends = %q, %v", s, err)
+	}
+
+	// An unsupported argument type is rejected client-side without
+	// poisoning the connection.
+	if err := c.Send("CORE.GET", 3.14); err == nil {
+		t.Fatalf("Send(float) did not error")
+	}
+	if c.Err() != nil {
+		t.Fatalf("type error poisoned the connection: %v", c.Err())
+	}
+	if _, err := client.Int(c.Do("CORE.GET", 0)); err != nil {
+		t.Fatalf("conn unusable after arg-type error: %v", err)
+	}
+}
+
+func TestReplyHelpers(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	if _, err := client.Ints(c.Do("CORE.MGET", 0, 1, 2)); err != nil {
+		t.Fatalf("Ints(MGET): %v", err)
+	}
+	stats, err := client.StringMap(c.Do("CORE.STATS"))
+	if err != nil || stats["n"] != "200" {
+		t.Fatalf("StringMap(STATS): %v, n=%q", err, stats["n"])
+	}
+	// Kind mismatches are errors, not zero values.
+	if _, err := client.Int(c.Do("PING")); err == nil {
+		t.Fatalf("Int(simple-string) did not error")
+	}
+	if _, err := client.Ints(c.Do("CORE.GET", 0)); err == nil {
+		t.Fatalf("Ints(integer) did not error")
+	}
+}
+
+func TestPool(t *testing.T) {
+	addr := startServer(t)
+	p := &client.Pool{
+		Dial:    func() (*client.Conn, error) { return client.Dial(addr) },
+		MaxIdle: 2,
+	}
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := client.Int(c1.Do("CORE.GET", 1)); err != nil {
+		t.Fatalf("Do on pooled conn: %v", err)
+	}
+	p.Put(c1)
+
+	// The healthy connection is reused.
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if c2 != c1 {
+		t.Fatalf("pool did not reuse the idle connection")
+	}
+
+	// A connection with unconsumed pipelined replies is not pooled.
+	c2.Send("CORE.GET", 1)
+	c2.Flush()
+	p.Put(c2)
+	c3, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if c3 == c2 {
+		t.Fatalf("pool handed out a connection with pending replies")
+	}
+
+	// A poisoned connection is not pooled either.
+	c3.Close()
+	p.Put(c3)
+	c4, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if c4 == c3 {
+		t.Fatalf("pool handed out a poisoned connection")
+	}
+	p.Put(c4)
+
+	p.Close()
+	if _, err := p.Get(); !errors.Is(err, client.ErrPoolClosed) {
+		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+}

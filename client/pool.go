@@ -1,0 +1,81 @@
+package client
+
+import (
+	"errors"
+	"sync"
+)
+
+// Pool is a fixed-capacity pool of idle connections, in the shape of
+// redigo's: Get hands out an idle connection or dials a fresh one, Put
+// returns it (healthy connections only — a poisoned Conn is closed and
+// dropped). The pool never bounds the number of live connections, only
+// how many idle ones it retains.
+type Pool struct {
+	// Dial opens a new connection; required.
+	Dial func() (*Conn, error)
+	// MaxIdle bounds the idle list (default 8).
+	MaxIdle int
+
+	mu     sync.Mutex
+	idle   []*Conn
+	closed bool
+}
+
+// ErrPoolClosed is returned by Get after Close.
+var ErrPoolClosed = errors.New("client: pool closed")
+
+// Get returns an idle connection, or dials a new one.
+func (p *Pool) Get() (*Conn, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return c, nil
+	}
+	p.mu.Unlock()
+	return p.Dial()
+}
+
+// Put returns c to the pool. Poisoned connections, connections with
+// unconsumed pipelined replies, and overflow beyond MaxIdle are closed
+// instead — a pooled connection is always safe to hand out.
+func (p *Pool) Put(c *Conn) {
+	if c == nil {
+		return
+	}
+	if c.Err() != nil || c.pending != 0 {
+		c.Close()
+		return
+	}
+	maxIdle := p.MaxIdle
+	if maxIdle <= 0 {
+		maxIdle = 8
+	}
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= maxIdle {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle = append(p.idle, c)
+	p.mu.Unlock()
+}
+
+// Close closes every idle connection and rejects future Gets.
+// Connections currently handed out are closed by their users' Put.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, c := range idle {
+		c.Close()
+	}
+	return nil
+}

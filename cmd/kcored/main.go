@@ -1,0 +1,128 @@
+// Command kcored serves a maintained k-core decomposition over TCP,
+// speaking the RESP2 wire protocol — the networked face of the serving
+// layer. Point any RESP client (redis-cli included) at it:
+//
+//	kcored -addr :6380 -alg parallel -workers 4 -load er.txt
+//	redis-cli -p 6380 core.get 42
+//
+// With -load, the initial graph is read from a whitespace edge list
+// (cmd/graphgen emits them); without it the server starts on an empty
+// universe of -n vertices (default 0) and grows on demand as CORE.INSERT
+// traffic names fresh vertex ids. SIGINT/SIGTERM shut down gracefully:
+// in-flight write futures drain and buffered replies flush before the
+// process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/graph"
+	"repro/kcore"
+	"repro/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":6380", "listen address (host:port)")
+		algName     = flag.String("alg", "parallel", "engine: parallel|seq|traversal|jes")
+		workers     = flag.Int("workers", 4, "engine worker goroutines")
+		maxVertices = flag.Int("maxvertices", kcore.DefaultMaxVertices, "vertex-universe growth ceiling")
+		n           = flag.Int("n", 0, "initial (empty) vertex universe when -load is absent")
+		load        = flag.String("load", "", "preload graph from a whitespace edge-list file")
+		quiet       = flag.Bool("quiet", false, "suppress the startup banner")
+	)
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	g, err := buildGraph(*load, *n)
+	if err != nil {
+		log.Fatalf("kcored: %v", err)
+	}
+
+	start := time.Now()
+	m := kcore.New(g,
+		kcore.WithAlgorithm(alg),
+		kcore.WithWorkers(*workers),
+		kcore.WithMaxVertices(*maxVertices),
+	)
+	defer m.Close()
+	if !*quiet {
+		log.Printf("kcored: engine %v (workers=%d), n=%d m=%d, initial decomposition in %v",
+			alg, *workers, g.N(), g.M(), time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := server.New(m)
+	// Closing the listener makes ListenAndServe return immediately, but
+	// the graceful drain (in-flight write futures, buffered replies) is
+	// still running inside Shutdown — main must wait for it before
+	// exiting, or the process would cut connections mid-drain.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if !*quiet {
+			log.Printf("kcored: shutting down")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	if !*quiet {
+		log.Printf("kcored: listening on %s", *addr)
+	}
+	err = srv.ListenAndServe(*addr)
+	if err != server.ErrServerClosed {
+		log.Fatalf("kcored: %v", err)
+	}
+	<-shutdownDone
+	if !*quiet {
+		st := srv.Stats()
+		log.Printf("kcored: served %d commands over %d connections, epoch %d",
+			st.Commands, st.ConnsTotal, m.Epoch())
+	}
+}
+
+func parseAlg(name string) (kcore.Algorithm, error) {
+	switch name {
+	case "parallel":
+		return kcore.ParallelOrder, nil
+	case "seq":
+		return kcore.SequentialOrder, nil
+	case "traversal":
+		return kcore.Traversal, nil
+	case "jes":
+		return kcore.JoinEdgeSet, nil
+	}
+	return 0, fmt.Errorf("unknown -alg %q (want parallel|seq|traversal|jes)", name)
+}
+
+func buildGraph(load string, n int) (*graph.Graph, error) {
+	if load == "" {
+		return graph.New(n), nil
+	}
+	f, err := os.Open(load)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := graph.ReadEdgeList(f)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", load, err)
+	}
+	return g, nil
+}

@@ -8,10 +8,16 @@
 // traffic. At the end it prints throughput and latency percentiles for
 // both sides plus the pipeline's instrumentation counters.
 //
-// Example:
+// With -net addr the same experiment drives a live kcored server over
+// TCP through the pipelined RESP client instead of an in-process
+// maintainer (see net.go), reporting the server-side ServeStats next to
+// the publication counters; -check then runs CORE.CHECK on the server.
+//
+// Examples:
 //
 //	go run ./cmd/loadserve -n 50000 -m 200000 -readers 8 -writers 2 \
 //	    -batch 64 -alg parallel -workers 4 -d 5s -churn
+//	go run ./cmd/loadserve -net :6380 -readers 8 -writers 2 -d 5s -check
 package main
 
 import (
@@ -43,8 +49,24 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		check    = flag.Bool("check", false, "verify invariants after the run")
 		churn    = flag.Bool("churn", false, "add a vertex-churn writer: arrival batches on fresh ids (auto-grow) + partial removal")
+		netAddr  = flag.String("net", "", "drive a live kcored server at this address over TCP instead of an in-process maintainer (-n/-m/-alg/-workers/-churn are the server's business then)")
+		pipeline = flag.Int("pipeline", 16, "pipeline depth per network reader (-net mode)")
 	)
 	flag.Parse()
+
+	if *netAddr != "" {
+		netRun(netConfig{
+			addr:     *netAddr,
+			readers:  *readers,
+			writers:  *writers,
+			batch:    *batch,
+			pipeline: *pipeline,
+			duration: *duration,
+			seed:     *seed,
+			check:    *check,
+		})
+		return
+	}
 
 	var alg kcore.Algorithm
 	switch *algName {

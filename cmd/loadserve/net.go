@@ -1,0 +1,229 @@
+package main
+
+// The -net mode: the same closed-loop reader/writer experiment, but
+// driven over TCP against a live kcored server through the pipelined
+// RESP client — measuring the full network stack instead of in-process
+// calls. The server owns the graph; writers therefore churn edges inside
+// private fresh-id ranges above the server's current universe (insert a
+// chunk, remove it again), which exercises growth, coalescing across
+// connections, and keeps the server's graph invariant-clean for -check.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+	"repro/internal/stats"
+)
+
+type netConfig struct {
+	addr     string
+	readers  int
+	writers  int
+	batch    int // edges per pipelined write flight
+	pipeline int // commands per pipelined read flight
+	duration time.Duration
+	seed     int64
+	check    bool
+}
+
+func netRun(cfg netConfig) {
+	pool := &client.Pool{
+		Dial:    func() (*client.Conn, error) { return client.Dial(cfg.addr, client.WithDialTimeout(5*time.Second)) },
+		MaxIdle: cfg.readers + cfg.writers + 1,
+	}
+	defer pool.Close()
+
+	c, err := pool.Get()
+	if err != nil {
+		log.Fatalf("loadserve: connect %s: %v", cfg.addr, err)
+	}
+	serverN, err := client.Int(c.Do("CORE.N"))
+	if err != nil {
+		log.Fatalf("loadserve: CORE.N: %v", err)
+	}
+	startStats, err := client.StringMap(c.Do("CORE.STATS"))
+	if err != nil {
+		log.Fatalf("loadserve: CORE.STATS: %v", err)
+	}
+	pool.Put(c)
+	fmt.Printf("driving kcored at %s: alg=%s n=%d epoch=%s\n",
+		cfg.addr, startStats["alg"], serverN, startStats["epoch"])
+	if serverN == 0 {
+		log.Fatalf("loadserve: server has an empty universe; start kcored with -load or -n")
+	}
+
+	var (
+		stop      atomic.Bool
+		readOps   atomic.Int64
+		writeOps  atomic.Int64
+		writeEdge atomic.Int64
+		errCount  atomic.Int64
+		readLat   = stats.NewLatencyRecorder(1 << 16)
+		writeLat  = stats.NewLatencyRecorder(1 << 16)
+		wg        sync.WaitGroup
+	)
+
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cc, err := pool.Get()
+			if err != nil {
+				errCount.Add(1)
+				log.Printf("reader %d: %v", r, err)
+				return
+			}
+			defer pool.Put(cc)
+			rng := rand.New(rand.NewSource(cfg.seed + 100 + int64(r)))
+			for i := 0; !stop.Load(); i++ {
+				start := time.Now()
+				// One pipelined flight of point reads, with periodic
+				// aggregate queries mixed in like the in-process mode.
+				for p := 0; p < cfg.pipeline; p++ {
+					switch {
+					case i%512 == 511 && p == 0:
+						err = cc.Send("CORE.HIST")
+					case i%64 == 63 && p == 0:
+						err = cc.Send("CORE.MAXCORE")
+					default:
+						err = cc.Send("CORE.GET", rng.Int31n(int32(serverN)))
+					}
+					if err != nil {
+						errCount.Add(1)
+						return
+					}
+				}
+				if err := cc.Flush(); err != nil {
+					errCount.Add(1)
+					return
+				}
+				for p := 0; p < cfg.pipeline; p++ {
+					if _, err := cc.Receive(); err != nil {
+						errCount.Add(1)
+						return
+					}
+				}
+				readOps.Add(int64(cfg.pipeline))
+				if i%4 == 0 {
+					readLat.Record(time.Since(start))
+				}
+			}
+		}(r)
+	}
+
+	// Writers churn private fresh-vertex ranges above the server's
+	// universe: a chunk of chain edges inserted one command per edge in a
+	// single pipelined flight, then removed the same way.
+	const span = 1 << 13
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cc, err := pool.Get()
+			if err != nil {
+				errCount.Add(1)
+				log.Printf("writer %d: %v", w, err)
+				return
+			}
+			defer pool.Put(cc)
+			rng := rand.New(rand.NewSource(cfg.seed + 500 + int64(w)))
+			lo := int32(serverN) + int32(w)*span
+			edges := make([]graph.Edge, cfg.batch)
+			flight := func(cmd string) bool {
+				start := time.Now()
+				for _, e := range edges {
+					if err := cc.Send(cmd, e.U, e.V); err != nil {
+						errCount.Add(1)
+						return false
+					}
+				}
+				if err := cc.Flush(); err != nil {
+					errCount.Add(1)
+					return false
+				}
+				for range edges {
+					if _, err := cc.Receive(); err != nil {
+						errCount.Add(1)
+						return false
+					}
+				}
+				writeOps.Add(int64(len(edges)))
+				writeEdge.Add(int64(len(edges)))
+				writeLat.Record(time.Since(start))
+				return true
+			}
+			for !stop.Load() {
+				for i := range edges {
+					u := lo + rng.Int31n(span)
+					v := lo + rng.Int31n(span)
+					if u == v {
+						v = lo + (v-lo+1)%span
+					}
+					edges[i] = graph.Edge{U: u, V: v}
+				}
+				if !flight("CORE.INSERT") {
+					return
+				}
+				if stop.Load() {
+					break
+				}
+				if !flight("CORE.REMOVE") {
+					return
+				}
+			}
+			// Leave the server clean: remove the last chunk again in case
+			// the stop flag interrupted between insert and remove.
+			flight("CORE.REMOVE")
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	cc, err := pool.Get()
+	if err != nil {
+		log.Fatalf("loadserve: reconnect: %v", err)
+	}
+	epoch, err := client.Int(cc.Do("CORE.FLUSH"))
+	if err != nil {
+		log.Fatalf("loadserve: CORE.FLUSH: %v", err)
+	}
+	st, err := client.StringMap(cc.Do("CORE.STATS"))
+	if err != nil {
+		log.Fatalf("loadserve: CORE.STATS: %v", err)
+	}
+
+	secs := elapsed.Seconds()
+	fmt.Printf("\nran %.2fs over TCP: readers=%d writers=%d batch=%d pipeline=%d errors=%d\n",
+		secs, cfg.readers, cfg.writers, cfg.batch, cfg.pipeline, errCount.Load())
+	fmt.Printf("reads : %10d ops  %12.0f ops/s  flight latency(ms) %s\n",
+		readOps.Load(), float64(readOps.Load())/secs, readLat.Percentiles())
+	fmt.Printf("writes: %10d ops  %12.0f ops/s  (%d edges)  flight latency(ms) %s\n",
+		writeOps.Load(), float64(writeOps.Load())/secs, writeEdge.Load(), writeLat.Percentiles())
+	fmt.Printf("server: conns=%s/%s cmds=%s (writes=%s) pipeline depth p50=%s p99=%s proto-errors=%s\n",
+		st["conns_active"], st["conns_total"], st["commands"], st["write_cmds"],
+		st["pipeline_p50"], st["pipeline_p99"], st["proto_errors"])
+	fmt.Printf("server pipeline: batches=%s batched-ops=%s canceled=%s queue=%s update p50=%sms p99=%sms\n",
+		st["batches"], st["batched_ops"], st["canceled_ops"], st["queue_depth"],
+		st["update_p50_ms"], st["update_p99_ms"])
+	fmt.Printf("publish: full=%s delta=%s unchanged=%s grow=%s dirty-pages=%s epoch=%d n=%s\n",
+		st["full_publishes"], st["delta_publishes"], st["unchanged_publishes"],
+		st["grow_publishes"], st["dirty_pages"], epoch, st["n"])
+
+	if cfg.check {
+		if s, err := client.String(cc.Do("CORE.CHECK")); err != nil || s != "OK" {
+			log.Fatalf("loadserve: CORE.CHECK = %q, %v", s, err)
+		}
+		fmt.Println("invariants: ok (server-side CORE.CHECK)")
+	}
+	pool.Put(cc)
+}

@@ -67,6 +67,29 @@ type State struct {
 	// relocate existing nodes.
 	Items []*om.Item
 
+	// CommitMu serializes cross-worker core-level moves: every transfer
+	// of a vertex between k-order lists that changes its core number
+	// (insertion commit's promotion to the head of O_{k+1}, removal's
+	// drop to the tail of O_{k-1}) must store the new core number AND
+	// relocate the OM item inside one CommitMu critical section.
+	//
+	// Why: other workers linearize their operations against a promotion
+	// by observing Core[w] (the forward filter, the queue discard check,
+	// the LockIf predicate) — a worker that sees the new core number
+	// treats the move as complete. The head-of-O_{k+1} placement rule is
+	// only valid under that linearization: whoever promotes later must
+	// end up earlier in the list. If the core store and the list insert
+	// can interleave with another commit into the same list (observed in
+	// the wild under GOMAXPROCS=2: worker A preempted between publishing
+	// core(w)=k+1 and inserting w, worker B promoting an adjacent vertex
+	// in between), the list order inverts relative to the observed
+	// linearization and the final k-order is invalid — dout exceeds the
+	// core number — which later in-batch decisions then build on,
+	// over-promoting vertices (the TestLargerScaleInsert I1/I2 failures).
+	// The section is a handful of pointer updates; commits into the same
+	// level at the same instant are rare, so contention is negligible.
+	CommitMu sync.Mutex
+
 	mu    sync.Mutex   // guards list growth
 	lists atomic.Value // []*om.List, one per core number
 

@@ -91,6 +91,9 @@ func (p *insertWorker) insertEdge(u, v int32) core.InsertStats {
 			}
 		}
 		st.Din[w] = din
+		if traceFn != nil {
+			traceFn("p=%p process %d din=%d dout=%d k=%d", p, w, din, st.Dout[w].Load(), k)
+		}
 		switch {
 		case din+st.Dout[w].Load() > k:
 			p.forward(w) // line 10; w stays locked
@@ -231,6 +234,11 @@ func (p *insertWorker) commit() {
 		if traceFn != nil {
 			traceFn("p=%p commit %d -> core %d (head of O_%d)", p, w, p.k+1, p.k+1)
 		}
+		// The core store and the list move publish as one unit (see
+		// core.State.CommitMu): a worker that observes the new core
+		// number linearizes after this promotion, and the head placement
+		// is only valid if w is already in the list when that happens.
+		st.CommitMu.Lock()
 		st.BeginOrderChange(w)
 		st.Core[w].Store(p.k + 1)
 		st.Din[w] = 0
@@ -242,6 +250,7 @@ func (p *insertWorker) commit() {
 		}
 		anchor = st.Items[w]
 		st.EndOrderChange(w)
+		st.CommitMu.Unlock()
 		p.recordMove(w)
 		if p.m != nil {
 			p.m.Promotions.Add(1)

@@ -164,39 +164,43 @@ func (p *removeWorker) doMCD(x int32) bool {
 		panic("pcore: mcd fell below core away from removal level")
 	}
 	// Line 22: ⟨core ← k-1; t ← 2⟩ published t-first so no observer sees
-	// a dropped-but-untracked vertex.
+	// a dropped-but-untracked vertex. The core store and the OM
+	// relocation to the tail of O_{k-1} publish as one unit (see
+	// core.State.CommitMu): a worker that observes the lowered core
+	// number — another removal's mcd count or conditional lock —
+	// linearizes its own drops after this one, and the tail placement is
+	// only a valid peeling position if x is already at the tail when
+	// that happens. (The drop cascade order is the peeling order; the
+	// old deferred-to-commit move let a later observer reach the tail
+	// first, inverting it.)
 	st.T[x].Store(2)
+	st.CommitMu.Lock()
+	st.BeginOrderChange(x)
 	st.Core[x].Store(p.k - 1)
+	st.List(p.k).Delete(st.Items[x])
+	st.List(p.k - 1).InsertAtTail(st.Items[x])
+	st.EndOrderChange(x)
+	st.CommitMu.Unlock()
 	st.Mcd[x].Store(core.McdEmpty) // line 23
-	p.vstar = append(p.vstar, x)   // line 24; OM delete deferred to commit
+	p.vstar = append(p.vstar, x)   // line 24
 	p.rq = append(p.rq, x)
+	// x is locked by us, so its adjacency is stable: snapshot it for the
+	// batch-end Dout repair now that the move is done.
+	p.repair = append(p.repair, x)
+	p.repair = append(p.repair, st.G.Adj(x)...)
 	if p.m != nil {
 		p.m.Drops.Add(1)
 	}
 	return true
 }
 
-// commit moves every dropped vertex from O_k to the tail of O_{k-1} in
-// discovery order — the cascade order, which is a valid peeling order at
-// level k-1 (Algorithm 8 line 17) — and releases the locks. Dout repair is
-// deferred to the batch-end pass: the dropped vertices and all their
-// neighbors are recomputed once every worker has quiesced, which is also
-// what resolves cross-worker tail interleavings.
+// commit releases the locks of the dropped set once propagation has
+// quiesced. The OM relocations happened at drop time (doMCD), atomically
+// with each core store; Dout repair is deferred to the batch-end pass,
+// which recomputes the dropped vertices and all their neighbors once
+// every worker has quiesced.
 func (p *removeWorker) commit() {
 	st := p.st
-	if len(p.vstar) == 0 {
-		return
-	}
-	from := st.List(p.k)
-	to := st.List(p.k - 1)
-	for _, w := range p.vstar {
-		st.BeginOrderChange(w)
-		from.Delete(st.Items[w])
-		to.InsertAtTail(st.Items[w])
-		st.EndOrderChange(w)
-		p.repair = append(p.repair, w)
-		p.repair = append(p.repair, st.G.Adj(w)...)
-	}
 	for _, w := range p.vstar {
 		st.Locks[w].Unlock() // line 18
 	}

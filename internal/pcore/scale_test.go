@@ -9,7 +9,10 @@ import (
 
 // TestLargerScaleInsert reproduces the coremaint CLI scenario: a denser ER
 // graph with a batch that overlaps existing edges, repeated across worker
-// counts.
+// counts. It flaked for several PRs under -race with multiple workers
+// (I1/I2 invariant failures, easiest to hit at GOMAXPROCS=2): the commit
+// linearization race now pinned by TestCommitRaceRegression and fixed by
+// core.State.CommitMu.
 func TestLargerScaleInsert(t *testing.T) {
 	base := gen.ErdosRenyi(2000, 8000, 3)
 	batch := gen.ErdosRenyi(2000, 500, 9).Edges() // overlaps base edges

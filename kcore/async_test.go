@@ -1,0 +1,56 @@
+package kcore
+
+import (
+	"testing"
+
+	"repro/gen"
+	"repro/graph"
+)
+
+// TestAsyncSubmissionOrder pins the Pending contract the RESP server
+// builds on: ops submitted asynchronously by one goroutine coalesce in
+// submission order (last op per edge wins), so an insert followed by a
+// remove of the same edge — submitted back to back, waited afterwards —
+// always ends with the edge absent.
+func TestAsyncSubmissionOrder(t *testing.T) {
+	g := gen.ErdosRenyi(200, 400, 1)
+	m := New(g)
+	defer m.Close()
+
+	e := []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}
+	for round := 0; round < 50; round++ {
+		var pends []*Pending
+		pends = append(pends, m.InsertEdgesAsync(e))
+		pends = append(pends, m.RemoveEdgesAsync(e))
+		pends = append(pends, m.InsertEdgesAsync(e))
+		pends = append(pends, m.RemoveEdgesAsync(e))
+		for _, pd := range pends {
+			pd.Wait()
+			pd.Wait() // idempotent
+		}
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("invariants after async churn: %v", err)
+	}
+	st := m.ServingStats()
+	if st.CanceledOps == 0 {
+		t.Fatalf("expected async bursts to coalesce (canceled ops > 0), got %+v", st)
+	}
+}
+
+// TestAsyncAfterClose verifies Pendings keep working once the pipeline
+// is shut down: submission applies synchronously, Wait returns the
+// result.
+func TestAsyncAfterClose(t *testing.T) {
+	g := gen.ErdosRenyi(100, 200, 2)
+	m := New(g)
+	m.Close()
+	pd := m.InsertEdgesAsync([]graph.Edge{{U: 5, V: 7}})
+	res := pd.Wait()
+	if res.Coalesced != 1 {
+		t.Fatalf("post-Close async result = %+v, want Coalesced 1", res)
+	}
+	if err := m.Check(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}

@@ -389,6 +389,25 @@ func (m *Maintainer) RemoveEdges(edges []graph.Edge) BatchResult {
 	return m.pipe.enqueue(m.eng, op)
 }
 
+// InsertEdgesAsync submits an insertion batch without waiting and
+// returns its future. Submission order is preserved — ops enqueued by
+// one goroutine coalesce with last-op-per-edge-wins semantics in exactly
+// the order they were submitted — so a caller draining a pipelined
+// network connection can fan a whole write burst into the pipeline
+// first and Wait afterwards, sharing engine rounds instead of paying
+// one round per op. Blocks only when the op queue is full
+// (backpressure).
+func (m *Maintainer) InsertEdgesAsync(edges []graph.Edge) *Pending {
+	op := &updateOp{kind: opInsert, edges: edges, done: make(chan BatchResult, 1)}
+	return m.pipe.submit(m.eng, op)
+}
+
+// RemoveEdgesAsync is InsertEdgesAsync for a removal batch.
+func (m *Maintainer) RemoveEdgesAsync(edges []graph.Edge) *Pending {
+	op := &updateOp{kind: opRemove, edges: edges, done: make(chan BatchResult, 1)}
+	return m.pipe.submit(m.eng, op)
+}
+
 // AddVertices grows the vertex universe by k fresh isolated vertices
 // (core number 0) at a quiescent point ordered after every earlier
 // update, and returns the new vertex count (growth clamps to the

@@ -70,12 +70,50 @@ func newPipeline() *pipeline {
 // After Close the op is applied synchronously instead, so a Maintainer
 // keeps working (single-threaded) once its pipeline is shut down.
 func (p *pipeline) enqueue(eng *engine, op *updateOp) BatchResult {
-	start := time.Now()
+	return p.submit(eng, op).Wait()
+}
+
+// Pending is the future of an asynchronously submitted update: the op is
+// in the pipeline (in submission order), its result not yet claimed. A
+// caller that submits a run of Pendings before waiting on any lets the
+// applier coalesce the whole run into shared engine batches — the
+// mechanism the RESP server uses to turn one connection's pipelined
+// write burst into one engine round. Wait is not safe for concurrent
+// use; hand a Pending to at most one waiter.
+type Pending struct {
+	p      *pipeline
+	op     *updateOp
+	start  time.Time
+	res    BatchResult
+	waited bool
+}
+
+// Wait blocks until the op's coalesced batch has been applied and its
+// snapshot published, then returns the shared BatchResult (idempotent
+// after the first call).
+func (pd *Pending) Wait() BatchResult {
+	if !pd.waited {
+		pd.res = <-pd.op.done
+		pd.waited = true
+		if pd.op.kind != opBarrier {
+			pd.p.updLat.Record(time.Since(pd.start))
+		}
+	}
+	return pd.res
+}
+
+// submit enqueues op without waiting and returns its future. After Close
+// the op is applied synchronously before submit returns (Wait then just
+// hands back the result), so async callers keep working once the
+// pipeline is shut down.
+func (p *pipeline) submit(eng *engine, op *updateOp) *Pending {
+	pd := &Pending{p: p, op: op, start: time.Now()}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
 		<-p.exited // the applier still owns the engine until it returns
-		return eng.applyDirect(op)
+		op.done <- eng.applyDirect(op)
+		return pd
 	}
 	p.metrics.QueueDepth.Add(1)
 	p.ops <- op
@@ -83,11 +121,7 @@ func (p *pipeline) enqueue(eng *engine, op *updateOp) BatchResult {
 	// the op it is guaranteed to be in the channel, in enqueue order.
 	p.metrics.Enqueued.Add(1)
 	p.mu.RUnlock()
-	res := <-op.done
-	if op.kind != opBarrier {
-		p.updLat.Record(time.Since(start))
-	}
-	return res
+	return pd
 }
 
 // close shuts the pipeline down. The applier finishes every op already

@@ -1,0 +1,327 @@
+package resp
+
+import (
+	"bufio"
+	"errors"
+	"io"
+)
+
+// Reader decodes RESP frames from an underlying stream through an
+// internal bufio.Reader. It is not safe for concurrent use; the serving
+// layer gives every connection its own Reader.
+type Reader struct {
+	br *bufio.Reader
+}
+
+// NewReader returns a Reader over r with a default-sized buffer.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{br: bufio.NewReader(r)}
+}
+
+// NewReaderSize returns a Reader whose internal buffer has at least size
+// bytes.
+func NewReaderSize(r io.Reader, size int) *Reader {
+	return &Reader{br: bufio.NewReaderSize(r, size)}
+}
+
+// Buffered reports whether undecoded bytes are already buffered — the
+// pipelining probe: a server that finds the buffer empty after a command
+// knows the pipelined burst is over and flushes its replies.
+func (r *Reader) Buffered() bool { return r.br.Buffered() > 0 }
+
+// ReadCommand reads one client command: either a multibulk frame
+// ("*2\r\n$4\r\nPING\r\n$2\r\nhi\r\n", what every real client sends) or
+// an inline command ("PING hi\r\n", for netcat-style debugging). It
+// returns the command's arguments; the slices are freshly allocated and
+// owned by the caller. io.EOF is returned untouched when the stream ends
+// cleanly between commands.
+func (r *Reader) ReadCommand() ([][]byte, error) {
+	for {
+		args, err := r.readCommandOnce()
+		// An empty multibulk ("*0\r\n") is valid no-op traffic; skip it so
+		// callers never see a zero-argument command.
+		if err != nil || len(args) > 0 {
+			return args, err
+		}
+	}
+}
+
+func (r *Reader) readCommandOnce() ([][]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if c != '*' {
+		if err := r.br.UnreadByte(); err != nil {
+			return nil, err
+		}
+		return r.readInline()
+	}
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, protoErrorf("negative multibulk count %d", n)
+	}
+	if n > MaxCommandArgs {
+		return nil, protoErrorf("multibulk count %d exceeds limit %d", n, MaxCommandArgs)
+	}
+	// Allocate incrementally (capped hint): a huge declared count with no
+	// payload behind it must fail on read, not on make().
+	args := make([][]byte, 0, min(n, 64))
+	for i := int64(0); i < n; i++ {
+		arg, err := r.readBulkArg()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, arg)
+	}
+	return args, nil
+}
+
+// readBulkArg reads one "$<len>\r\n<bytes>\r\n" command argument. Null
+// bulks are invalid inside commands.
+func (r *Reader) readBulkArg() ([]byte, error) {
+	c, err := r.br.ReadByte()
+	if err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if c != '$' {
+		return nil, protoErrorf("expected bulk argument ('$'), got %q", c)
+	}
+	n, err := r.readInt()
+	if err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, protoErrorf("negative bulk length %d in command", n)
+	}
+	return r.readBulkBody(n)
+}
+
+// readBulkBody reads n payload bytes plus the trailing CRLF.
+func (r *Reader) readBulkBody(n int64) ([]byte, error) {
+	if n > MaxBulkLen {
+		return nil, protoErrorf("bulk length %d exceeds limit %d", n, MaxBulkLen)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return nil, unexpectedEOF(err)
+	}
+	if err := r.expectCRLF(); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readInline parses a whitespace-separated inline command line.
+func (r *Reader) readInline() ([][]byte, error) {
+	line, err := r.readLine(MaxInlineLen)
+	if err != nil {
+		return nil, err
+	}
+	var args [][]byte
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		if j > i {
+			args = append(args, append([]byte(nil), line[i:j]...))
+		}
+		i = j
+	}
+	// A blank line is ignored (netcat users hitting enter), like the
+	// empty multibulk: the ReadCommand loop reads on.
+	return args, nil
+}
+
+// ReadValue reads one reply value: simple string, error, integer, bulk,
+// array (recursively), or nil. It is the client half of the codec.
+func (r *Reader) ReadValue() (Value, error) {
+	return r.readValue(0)
+}
+
+func (r *Reader) readValue(depth int) (Value, error) {
+	if depth > MaxDepth {
+		return Value{}, protoErrorf("reply nesting exceeds depth %d", MaxDepth)
+	}
+	c, err := r.br.ReadByte()
+	if err != nil {
+		if depth > 0 {
+			return Value{}, unexpectedEOF(err)
+		}
+		return Value{}, err
+	}
+	switch c {
+	case '+':
+		line, err := r.readStatusLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: SimpleString, Str: line}, nil
+	case '-':
+		line, err := r.readStatusLine()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: Error, Str: line}, nil
+	case ':':
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: Integer, Int: n}, nil
+	case '$':
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		if n == -1 {
+			return Value{Kind: Nil}, nil
+		}
+		if n < 0 {
+			return Value{}, protoErrorf("negative bulk length %d", n)
+		}
+		body, err := r.readBulkBody(n)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: Bulk, Str: body}, nil
+	case '*':
+		n, err := r.readInt()
+		if err != nil {
+			return Value{}, err
+		}
+		if n == -1 {
+			return Value{Kind: Nil}, nil
+		}
+		if n < 0 {
+			return Value{}, protoErrorf("negative array length %d", n)
+		}
+		if n > MaxArrayLen {
+			return Value{}, protoErrorf("array length %d exceeds limit %d", n, MaxArrayLen)
+		}
+		elems := make([]Value, 0, min(n, 64))
+		for i := int64(0); i < n; i++ {
+			v, err := r.readValue(depth + 1)
+			if err != nil {
+				return Value{}, err
+			}
+			elems = append(elems, v)
+		}
+		return Value{Kind: Array, Array: elems}, nil
+	default:
+		return Value{}, protoErrorf("unexpected frame byte %q", c)
+	}
+}
+
+// readStatusLine reads a simple-string or error payload. A stray CR
+// inside the line is rejected: the Writer neutralizes CR/LF when
+// encoding these (reply-injection defense), so no compliant peer
+// produces one and accepting it would break the codec's round-trip
+// property (FuzzRESP).
+func (r *Reader) readStatusLine() ([]byte, error) {
+	line, err := r.readLine(MaxInlineLen)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range line {
+		if c == '\r' {
+			return nil, protoErrorf("bare CR in status line")
+		}
+	}
+	return line, nil
+}
+
+// readInt reads a CRLF-terminated decimal (the payload of ':', and the
+// length of '$' and '*', whose type byte the caller already consumed).
+func (r *Reader) readInt() (int64, error) {
+	line, err := r.readLine(32)
+	if err != nil {
+		return 0, err
+	}
+	if len(line) == 0 {
+		return 0, protoErrorf("empty integer")
+	}
+	i, neg := 0, false
+	if line[0] == '-' || line[0] == '+' {
+		neg = line[0] == '-'
+		i++
+		if i == len(line) {
+			return 0, protoErrorf("bare sign integer")
+		}
+	}
+	var n int64
+	for ; i < len(line); i++ {
+		d := line[i]
+		if d < '0' || d > '9' {
+			return 0, protoErrorf("bad digit %q in integer", d)
+		}
+		if n > (1<<62)/10 {
+			return 0, protoErrorf("integer overflow")
+		}
+		n = n*10 + int64(d-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// readLine reads up to CRLF (tolerating bare LF for inline/netcat use),
+// returning the line without its terminator. Lines beyond limit bytes are
+// a protocol error — lengths and statuses are all short.
+func (r *Reader) readLine(limit int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := r.br.ReadSlice('\n')
+		line = append(line, frag...)
+		if err == nil {
+			break
+		}
+		if err != bufio.ErrBufferFull {
+			return nil, unexpectedEOF(err)
+		}
+		if len(line) > limit {
+			return nil, protoErrorf("line exceeds %d bytes", limit)
+		}
+	}
+	if len(line) > limit+2 {
+		return nil, protoErrorf("line exceeds %d bytes", limit)
+	}
+	line = line[:len(line)-1] // strip LF
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// expectCRLF consumes the terminator after a bulk payload.
+func (r *Reader) expectCRLF() error {
+	cr, err := r.br.ReadByte()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	lf, err := r.br.ReadByte()
+	if err != nil {
+		return unexpectedEOF(err)
+	}
+	if cr != '\r' || lf != '\n' {
+		return protoErrorf("bulk payload not CRLF-terminated")
+	}
+	return nil
+}
+
+// unexpectedEOF maps a mid-frame EOF to io.ErrUnexpectedEOF so callers
+// can tell a clean close (io.EOF between frames) from a truncated frame.
+func unexpectedEOF(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/client"
+	"repro/gen"
+	"repro/kcore"
+)
+
+// BenchmarkServeRESP measures the networked serving stack end to end —
+// RESP codec, per-connection dispatch, snapshot reads, and the
+// async-write fan-in — over real loopback TCP, pipelined and not. The
+// pipelined/unpipelined gap is the protocol's whole argument: one write
+// burst coalesces into ~one engine round and one syscall per flight.
+// `make bench-json` records the rows in BENCH_serve.json next to the
+// publication benchmarks.
+func BenchmarkServeRESP(b *testing.B) {
+	const (
+		n     = 50_000
+		m     = 200_000
+		depth = 64
+	)
+	newStack := func(b *testing.B) (*client.Conn, func()) {
+		b.Helper()
+		maint := kcore.New(gen.ErdosRenyi(n, m, 1), kcore.WithWorkers(4))
+		srv := New(maint)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatalf("listen: %v", err)
+		}
+		go srv.Serve(ln)
+		c, err := client.Dial(ln.Addr().String())
+		if err != nil {
+			b.Fatalf("dial: %v", err)
+		}
+		return c, func() {
+			c.Close()
+			srv.Close()
+			maint.Close()
+		}
+	}
+	reportOps := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+
+	b.Run("read/unpipelined", func(b *testing.B) {
+		c, stop := newStack(b)
+		defer stop()
+		rng := rand.New(rand.NewSource(2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Int(c.Do("CORE.GET", rng.Int31n(n))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportOps(b)
+	})
+
+	b.Run("read/pipelined", func(b *testing.B) {
+		c, stop := newStack(b)
+		defer stop()
+		rng := rand.New(rand.NewSource(3))
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			flight := min(depth, b.N-done)
+			for p := 0; p < flight; p++ {
+				c.Send("CORE.GET", rng.Int31n(n))
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < flight; p++ {
+				if _, err := client.Int(c.Receive()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			done += flight
+		}
+		reportOps(b)
+	})
+
+	b.Run("write/unpipelined", func(b *testing.B) {
+		c, stop := newStack(b)
+		defer stop()
+		// Churn one private fresh-vertex chain: every op does real
+		// maintenance work, the graph stays bounded.
+		lo := int32(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u := lo + int32(i%1024)
+			cmd := "CORE.INSERT"
+			if (i/1024)%2 == 1 {
+				cmd = "CORE.REMOVE"
+			}
+			if _, err := client.Int(c.Do(cmd, u, u+1)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		reportOps(b)
+	})
+
+	b.Run("write/pipelined", func(b *testing.B) {
+		c, stop := newStack(b)
+		defer stop()
+		lo := int32(n)
+		b.ResetTimer()
+		for done := 0; done < b.N; {
+			flight := min(depth, b.N-done)
+			cmd := "CORE.INSERT"
+			if (done/depth)%2 == 1 {
+				cmd = "CORE.REMOVE"
+			}
+			for p := 0; p < flight; p++ {
+				u := lo + int32(p)
+				c.Send(cmd, u, u+1)
+			}
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < flight; p++ {
+				if _, err := client.Int(c.Receive()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			done += flight
+		}
+		reportOps(b)
+	})
+}

@@ -1,0 +1,354 @@
+package server
+
+import (
+	"strconv"
+
+	"repro/graph"
+)
+
+// command is one row of the dispatch table.
+type command struct {
+	name    string
+	minArgs int  // including the command name
+	maxArgs int  // -1 = unbounded
+	write   bool // fans into the update pipeline (reply deferred)
+	fn      func(c *conn, args [][]byte) (quit bool)
+}
+
+// commands maps the upper-cased wire name to its handler. The table is
+// the single source of truth for the protocol surface; README's command
+// table and the client helpers mirror it.
+var commands = map[string]*command{}
+
+func register(cmd *command) {
+	commands[cmd.name] = cmd
+}
+
+func init() {
+	register(&command{name: "PING", minArgs: 1, maxArgs: 2, fn: cmdPing})
+	register(&command{name: "QUIT", minArgs: 1, maxArgs: 1, fn: cmdQuit})
+	register(&command{name: "CORE.GET", minArgs: 2, maxArgs: 2, fn: cmdGet})
+	register(&command{name: "CORE.MGET", minArgs: 2, maxArgs: -1, fn: cmdMGet})
+	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, write: true, fn: cmdInsert})
+	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, write: true, fn: cmdRemove})
+	register(&command{name: "CORE.MAXCORE", minArgs: 1, maxArgs: 1, fn: cmdMaxCore})
+	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 1, fn: cmdHist})
+	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 2, fn: cmdKVert})
+	register(&command{name: "CORE.DEGENERACY", minArgs: 1, maxArgs: 1, fn: cmdDegeneracy})
+	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, fn: cmdGrow})
+	register(&command{name: "CORE.FLUSH", minArgs: 1, maxArgs: 1, fn: cmdFlush})
+	register(&command{name: "CORE.EPOCH", minArgs: 1, maxArgs: 1, fn: cmdEpoch})
+	register(&command{name: "CORE.N", minArgs: 1, maxArgs: 1, fn: cmdN})
+	register(&command{name: "CORE.CHECK", minArgs: 1, maxArgs: 1, fn: cmdCheck})
+	register(&command{name: "CORE.STATS", minArgs: 1, maxArgs: 1, fn: cmdStats})
+}
+
+func cmdPing(c *conn, args [][]byte) bool {
+	if len(args) == 2 {
+		c.wr.WriteBulk(args[1])
+	} else {
+		c.wr.WriteSimple("PONG")
+	}
+	return false
+}
+
+func cmdQuit(c *conn, args [][]byte) bool {
+	c.wr.WriteSimple("OK")
+	return true
+}
+
+// cmdGet serves CORE.GET v — the core number of v in the latest
+// published snapshot. Ids at or beyond the snapshot's N are unseen
+// vertices: isolated by definition, core 0.
+func cmdGet(c *conn, args [][]byte) bool {
+	v, ok := c.argVertex(args[1])
+	if !ok {
+		return false
+	}
+	s := c.srv.m.Snapshot()
+	var core int32
+	if int(v) < s.N() {
+		core = s.CoreOf(v)
+	}
+	c.wr.WriteInt(int64(core))
+	return false
+}
+
+// cmdMGet serves CORE.MGET v…: one integer per id, all read off one
+// snapshot, so the reply is mutually consistent.
+func cmdMGet(c *conn, args [][]byte) bool {
+	s := c.srv.m.Snapshot()
+	n := int32(s.N())
+	// Validate (and parse once) before writing: an array reply cannot
+	// carry a trailing error without desynchronizing the stream.
+	ids := make([]int32, len(args)-1)
+	for i, a := range args[1:] {
+		v, ok := parseVertex(a)
+		if !ok {
+			c.writeError("ERR invalid vertex id '" + clip(a) + "'")
+			return false
+		}
+		ids[i] = v
+	}
+	c.wr.WriteArrayHeader(len(ids))
+	for _, v := range ids {
+		var core int32
+		if v < n {
+			core = s.CoreOf(v)
+		}
+		c.wr.WriteInt(int64(core))
+	}
+	return false
+}
+
+// cmdInsert serves CORE.INSERT u v [u v …]: the edge list fans into the
+// maintainer's coalescing pipeline asynchronously; the deferred reply is
+// the applied-edge count of the coalesced batch that covered it.
+func cmdInsert(c *conn, args [][]byte) bool {
+	edges, ok := c.argEdges(args)
+	if !ok {
+		return false
+	}
+	c.pending = append(c.pending, c.srv.m.InsertEdgesAsync(edges))
+	return false
+}
+
+// cmdRemove serves CORE.REMOVE u v [u v …], the removal twin of
+// CORE.INSERT.
+func cmdRemove(c *conn, args [][]byte) bool {
+	edges, ok := c.argEdges(args)
+	if !ok {
+		return false
+	}
+	c.pending = append(c.pending, c.srv.m.RemoveEdgesAsync(edges))
+	return false
+}
+
+func cmdMaxCore(c *conn, args [][]byte) bool {
+	c.wr.WriteInt(int64(c.srv.m.MaxCore()))
+	return false
+}
+
+// cmdHist serves CORE.HIST: Hist[k] vertices with core number k, one
+// integer per core value 0..MaxCore.
+func cmdHist(c *conn, args [][]byte) bool {
+	hist := c.srv.m.Snapshot().Histogram()
+	c.wr.WriteArrayHeader(len(hist))
+	for _, n := range hist {
+		c.wr.WriteInt(n)
+	}
+	return false
+}
+
+// cmdKVert serves CORE.KVERT k: how many vertices are in the k-core
+// (core number >= k), summed off the snapshot histogram in O(MaxCore).
+func cmdKVert(c *conn, args [][]byte) bool {
+	k, ok := parseInt(args[1])
+	if !ok {
+		c.writeError("ERR invalid core value '" + clip(args[1]) + "'")
+		return false
+	}
+	hist := c.srv.m.Snapshot().Histogram()
+	var count int64
+	for cv := max(k, 0); cv < int64(len(hist)); cv++ {
+		count += hist[cv]
+	}
+	c.wr.WriteInt(count)
+	return false
+}
+
+// cmdDegeneracy serves CORE.DEGENERACY: the graph's degeneracy,
+// recomputed authoritatively at a quiescent point (an O(n+m) barrier
+// command — heavier than CORE.MAXCORE, which reads the snapshot).
+func cmdDegeneracy(c *conn, args [][]byte) bool {
+	deg, _ := c.srv.m.Degeneracy()
+	c.wr.WriteInt(int64(deg))
+	return false
+}
+
+// cmdGrow serves CORE.GROW k: pre-allocate k fresh isolated vertices
+// (clamped to the maintainer's ceiling); replies with the new N.
+func cmdGrow(c *conn, args [][]byte) bool {
+	k, ok := parseInt(args[1])
+	if !ok || k < 0 || k > int64(graph.MaxVertexID) {
+		c.writeError("ERR invalid vertex count '" + clip(args[1]) + "'")
+		return false
+	}
+	c.wr.WriteInt(int64(c.srv.m.AddVertices(int(k))))
+	return false
+}
+
+func cmdFlush(c *conn, args [][]byte) bool {
+	c.wr.WriteInt(int64(c.srv.m.Flush()))
+	return false
+}
+
+func cmdEpoch(c *conn, args [][]byte) bool {
+	c.wr.WriteInt(int64(c.srv.m.Epoch()))
+	return false
+}
+
+func cmdN(c *conn, args [][]byte) bool {
+	c.wr.WriteInt(int64(c.srv.m.N()))
+	return false
+}
+
+// cmdCheck serves CORE.CHECK: verify every maintainer invariant against
+// a fresh decomposition (O(n+m), for tests and operators — the network
+// face of Maintainer.Check).
+func cmdCheck(c *conn, args [][]byte) bool {
+	if err := c.srv.m.Check(); err != nil {
+		c.writeError("ERR check failed: " + err.Error())
+		return false
+	}
+	c.wr.WriteSimple("OK")
+	return false
+}
+
+// cmdStats serves CORE.STATS: a flat key/value array (CONFIG GET style)
+// of the server's network counters followed by the maintainer's serving
+// counters, so one round trip captures the whole stack's health.
+func cmdStats(c *conn, args [][]byte) bool {
+	ss := c.srv.Stats()
+	ms := c.srv.m.ServingStats()
+	kv := [][2]string{
+		{"alg", c.srv.m.Algorithm().String()},
+		{"workers", itoa(int64(c.srv.m.Workers()))},
+		{"n", itoa(int64(c.srv.m.N()))},
+		{"epoch", itoa(int64(ms.Epoch))},
+		// Network side.
+		{"conns_total", itoa(ss.ConnsTotal)},
+		{"conns_active", itoa(ss.ConnsActive)},
+		{"commands", itoa(ss.Commands)},
+		{"write_cmds", itoa(ss.WriteCmds)},
+		{"errors_sent", itoa(ss.ErrorsSent)},
+		{"proto_errors", itoa(ss.ProtoErrors)},
+		{"pipeline_p50", ftoa(ss.PipelineDepth.P50)},
+		{"pipeline_p99", ftoa(ss.PipelineDepth.P99)},
+		// Pipeline / publication side (kcore.ServingStats).
+		{"queue_depth", itoa(ms.QueueDepth)},
+		{"enqueued", itoa(ms.Enqueued)},
+		{"batches", itoa(ms.Batches)},
+		{"batched_ops", itoa(ms.BatchedOps)},
+		{"canceled_ops", itoa(ms.CanceledOps)},
+		{"flushes", itoa(ms.Flushes)},
+		{"update_p50_ms", ftoa(ms.UpdateLatency.P50)},
+		{"update_p99_ms", ftoa(ms.UpdateLatency.P99)},
+		{"full_publishes", itoa(ms.FullPublishes)},
+		{"delta_publishes", itoa(ms.DeltaPublishes)},
+		{"unchanged_publishes", itoa(ms.UnchangedPublishes)},
+		{"grow_publishes", itoa(ms.GrowPublishes)},
+		{"dirty_pages", itoa(ms.DirtyPages)},
+	}
+	c.wr.WriteArrayHeader(len(kv) * 2)
+	for _, pair := range kv {
+		c.wr.WriteBulkString(pair[0])
+		c.wr.WriteBulkString(pair[1])
+	}
+	return false
+}
+
+// --- argument parsing -------------------------------------------------------
+
+// argVertex parses one vertex-id argument, replying on failure.
+func (c *conn) argVertex(a []byte) (int32, bool) {
+	v, ok := parseVertex(a)
+	if !ok {
+		c.writeError("ERR invalid vertex id '" + clip(a) + "'")
+	}
+	return v, ok
+}
+
+// argEdges parses the "u v [u v …]" tail of a write command, replying on
+// failure. The ids only need to be non-negative int32s here — the
+// maintainer's universe scan handles growth and its ceiling.
+func (c *conn) argEdges(args [][]byte) ([]graph.Edge, bool) {
+	tail := args[1:]
+	if len(tail)%2 != 0 {
+		c.writeError("ERR " + string(args[0]) + " takes vertex pairs (odd id count)")
+		return nil, false
+	}
+	edges := make([]graph.Edge, 0, len(tail)/2)
+	for i := 0; i < len(tail); i += 2 {
+		u, ok := parseVertex(tail[i])
+		if !ok {
+			c.writeError("ERR invalid vertex id '" + clip(tail[i]) + "'")
+			return nil, false
+		}
+		v, ok := parseVertex(tail[i+1])
+		if !ok {
+			c.writeError("ERR invalid vertex id '" + clip(tail[i+1]) + "'")
+			return nil, false
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	return edges, true
+}
+
+// parseVertex parses a non-negative int32 vertex id.
+func parseVertex(a []byte) (int32, bool) {
+	n, ok := parseInt(a)
+	if !ok || n < 0 || n > int64(1<<31-1) {
+		return 0, false
+	}
+	return int32(n), true
+}
+
+// parseInt parses a decimal int64 from a command argument without
+// allocating.
+func parseInt(a []byte) (int64, bool) {
+	if len(a) == 0 {
+		return 0, false
+	}
+	i, neg := 0, false
+	if a[0] == '-' {
+		neg = true
+		i++
+		if i == len(a) {
+			return 0, false
+		}
+	}
+	var n int64
+	for ; i < len(a); i++ {
+		d := a[i]
+		if d < '0' || d > '9' {
+			return 0, false
+		}
+		if n > (1<<62)/10 {
+			return 0, false
+		}
+		n = n*10 + int64(d-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, true
+}
+
+// clip bounds an untrusted argument echoed into an error message and
+// neutralizes non-printable bytes — resp.WriteError additionally strips
+// CR/LF, but the message should stay readable in logs and redis-cli
+// whatever bytes arrived.
+func clip(a []byte) string {
+	const maxEcho = 32
+	b := a
+	trunc := false
+	if len(b) > maxEcho {
+		b, trunc = b[:maxEcho], true
+	}
+	out := make([]byte, len(b))
+	for i, c := range b {
+		if c < 0x20 || c == 0x7f {
+			c = '?'
+		}
+		out[i] = c
+	}
+	if trunc {
+		return string(out) + "…"
+	}
+	return string(out)
+}
+
+func itoa(n int64) string { return strconv.FormatInt(n, 10) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', 4, 64) }

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+
+	"repro/kcore"
+	"repro/resp"
+)
+
+// conn is one client connection: its own RESP reader/writer and the
+// queue of write futures whose replies are still owed.
+//
+// The dispatch loop preserves RESP's per-connection semantics — replies
+// in command order, reads observe earlier writes — while letting a
+// pipelined write burst coalesce: CORE.INSERT/CORE.REMOVE are submitted
+// asynchronously (kcore.Pending) and their replies deferred; the queue
+// is drained (waiting each future, writing each reply, in order) the
+// moment a non-write command needs to run, the pipelined burst ends, or
+// the queue hits the server's maxPipeline bound. Because one goroutine
+// submits in command order and the maintainer's coalescer folds with
+// last-op-per-edge-wins in enqueue order, the drain-later scheme is
+// observationally identical to executing the commands one at a time —
+// just in ~one engine round instead of one per command.
+type conn struct {
+	srv     *Server
+	nc      net.Conn
+	rd      *resp.Reader
+	wr      *resp.Writer
+	pending []*kcore.Pending
+	cycle   int64 // commands since the last reply flush (pipelining depth)
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv: s,
+		nc:  nc,
+		rd:  resp.NewReaderSize(nc, 16<<10),
+		wr:  resp.NewWriterSize(nc, 16<<10),
+	}
+}
+
+// serve is the connection goroutine body.
+func (c *conn) serve() {
+	defer c.nc.Close()
+	for {
+		args, err := c.rd.ReadCommand()
+		if err != nil {
+			c.readFailed(err)
+			return
+		}
+		c.srv.stats.commands.Add(1)
+		c.cycle++
+		if quit := c.dispatch(args); quit {
+			c.drainPending()
+			c.wr.Flush()
+			return
+		}
+		if len(c.pending) >= c.srv.maxPipeline {
+			c.drainPending()
+		}
+		if !c.rd.Buffered() {
+			// The pipelined burst is over (nothing left undecoded):
+			// settle the write futures and flush all replies in one write.
+			c.drainPending()
+			c.srv.stats.pipeDepth.RecordValue(float64(c.cycle))
+			c.cycle = 0
+			if err := c.wr.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// readFailed finishes the connection after a failed read: owed replies
+// are still settled and flushed, a protocol error gets an error reply,
+// and a clean shutdown (EOF, or the Shutdown nudge) stays quiet.
+func (c *conn) readFailed(err error) {
+	c.drainPending()
+	var pe *resp.ProtocolError
+	switch {
+	case errors.As(err, &pe):
+		c.srv.stats.protoErrors.Add(1)
+		c.writeError("ERR protocol error: " + pe.Error())
+	case errors.Is(err, io.EOF):
+		// Clean close between frames.
+	case isTimeout(err) && c.srv.closing.Load():
+		// The Shutdown nudge: in-flight futures drained above, buffered
+		// replies about to flush — the graceful path.
+	case errors.Is(err, io.ErrUnexpectedEOF), errors.Is(err, net.ErrClosed):
+		// Peer vanished mid-frame or Close won the race; nothing to say.
+	default:
+		c.srv.logf("server: read from %v: %v", c.nc.RemoteAddr(), err)
+	}
+	c.wr.Flush()
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// dispatch routes one command. It reports whether the connection should
+// close (QUIT).
+func (c *conn) dispatch(args [][]byte) (quit bool) {
+	name := asciiUpper(args[0])
+	cmd, ok := commands[string(name)] // no-alloc map lookup on []byte key
+	if !ok {
+		c.writeError("ERR unknown command '" + clip(args[0]) + "'")
+		return false
+	}
+	if len(args) < cmd.minArgs || (cmd.maxArgs >= 0 && len(args) > cmd.maxArgs) {
+		c.writeError("ERR wrong number of arguments for '" + cmd.name + "'")
+		return false
+	}
+	if !cmd.write {
+		// Per-connection read-your-writes: a non-write command must
+		// observe every write this connection pipelined before it.
+		c.drainPending()
+	} else {
+		c.srv.stats.writeCmds.Add(1)
+	}
+	return cmd.fn(c, args)
+}
+
+// drainPending waits each owed write future in submission order and
+// writes its reply: the applied-edge count of the coalesced engine batch
+// that covered the command (shared across coalesced ops, exactly like
+// the in-process BatchResult contract).
+func (c *conn) drainPending() {
+	for i, pd := range c.pending {
+		res := pd.Wait()
+		c.wr.WriteInt(int64(res.Applied))
+		c.pending[i] = nil
+	}
+	c.pending = c.pending[:0]
+}
+
+// writeError emits an error reply. Every owed write future settles
+// first: replies must leave in command order, and an immediate error
+// path (unknown command, bad arity, malformed argument) would otherwise
+// jump ahead of the deferred integer replies of a pipelined write burst
+// and misattribute every reply after it.
+func (c *conn) writeError(msg string) {
+	c.drainPending()
+	c.srv.stats.errorsSent.Add(1)
+	c.wr.WriteError(msg)
+}
+
+// asciiUpper upper-cases b in place (command names are ASCII) and
+// returns it; the reader hands us freshly owned slices.
+func asciiUpper(b []byte) []byte {
+	for i, ch := range b {
+		if 'a' <= ch && ch <= 'z' {
+			b[i] = ch - 'a' + 'A'
+		}
+	}
+	return b
+}

@@ -1,0 +1,280 @@
+// Package server exposes a kcore.Maintainer over TCP speaking the RESP2
+// wire protocol (package resp) — the network surface of the serving
+// layer. One goroutine per connection reads pipelined CORE.* commands,
+// serves queries lock-free off the maintainer's latest published
+// snapshot, and fans write commands asynchronously into the maintainer's
+// coalescing pipeline, so a pipelined write burst — from one connection
+// or from many — shares engine rounds instead of paying one round per
+// command. Replies are buffered and flushed once per pipelined burst.
+//
+// The protocol is plain RESP2, so redis-cli works for exploration:
+//
+//	$ redis-cli -p 6380 core.get 42
+//	(integer) 3
+//
+// See the package-level command table in command.go and the README's
+// "Network serving" section.
+package server
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/kcore"
+)
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithLogger sets the connection-error logger; the default logs through
+// the standard library's default logger. Pass nil to silence.
+func WithLogger(l *log.Logger) Option { return func(s *Server) { s.logger = l; s.logSet = true } }
+
+// WithMaxPipeline bounds how many commands one connection may have
+// in flight before the server forces a drain of its pending write
+// futures (default defaultMaxPipeline). It bounds per-connection memory,
+// not protocol depth — clients may pipeline arbitrarily deep.
+func WithMaxPipeline(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxPipeline = n
+		}
+	}
+}
+
+const defaultMaxPipeline = 512
+
+// Server serves one Maintainer over RESP. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown (graceful) or Close.
+type Server struct {
+	m           *kcore.Maintainer
+	maxPipeline int
+	logger      *log.Logger
+	logSet      bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	inFlight sync.WaitGroup // one per live connection goroutine
+	closing  atomic.Bool
+
+	stats serveCounters
+}
+
+// serveCounters is the server-side half of ServeStats, updated by the
+// connection goroutines.
+type serveCounters struct {
+	connsTotal  atomic.Int64
+	connsActive atomic.Int64
+	commands    atomic.Int64
+	writeCmds   atomic.Int64
+	errorsSent  atomic.Int64
+	protoErrors atomic.Int64
+	// pipeDepth samples the number of commands handled per flush cycle —
+	// the observed pipelining depth.
+	pipeDepth stats.LatencyRecorder
+}
+
+// ServeStats is a point-in-time view of the server's network-side
+// counters, the wire-facing sibling of kcore.ServingStats (which it is
+// reported next to in CORE.STATS).
+type ServeStats struct {
+	ConnsTotal  int64 // connections ever accepted
+	ConnsActive int64 // connections currently open
+	Commands    int64 // commands dispatched
+	WriteCmds   int64 // CORE.INSERT/CORE.REMOVE among them
+	ErrorsSent  int64 // error replies written
+	ProtoErrors int64 // connections dropped on malformed frames
+	// PipelineDepth summarizes commands-per-flush-cycle — how deep
+	// clients actually pipeline (1 means unpipelined request/response).
+	PipelineDepth stats.Percentiles
+}
+
+// New returns a Server over m. The caller keeps ownership of m: closing
+// the server does not close the maintainer.
+func New(m *kcore.Maintainer, opts ...Option) *Server {
+	s := &Server{
+		m:           m,
+		maxPipeline: defaultMaxPipeline,
+		conns:       make(map[*conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns the server's network-side counters.
+func (s *Server) Stats() ServeStats {
+	return ServeStats{
+		ConnsTotal:    s.stats.connsTotal.Load(),
+		ConnsActive:   s.stats.connsActive.Load(),
+		Commands:      s.stats.commands.Load(),
+		WriteCmds:     s.stats.writeCmds.Load(),
+		ErrorsSent:    s.stats.errorsSent.Load(),
+		ProtoErrors:   s.stats.protoErrors.Load(),
+		PipelineDepth: s.stats.pipeDepth.Percentiles(),
+	}
+}
+
+// Maintainer returns the maintainer this server fronts.
+func (s *Server) Maintainer() *kcore.Maintainer { return s.m }
+
+// Addr returns the listening address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr ("host:port") and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// ErrServerClosed is returned by Serve after Shutdown or Close.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown or Close, spawning one
+// goroutine per connection. It takes ownership of ln.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closing.Load() {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	if s.ln != nil {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: Serve called twice")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	// Transient accept failures (fd exhaustion under connection fan-in,
+	// ECONNABORTED) must not kill the listener: back off and retry, the
+	// way net/http does; only hard errors end Serve.
+	backoff := 5 * time.Millisecond
+	const maxBackoff = time.Second
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if s.closing.Load() {
+				return ErrServerClosed
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				s.logf("server: accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+				continue
+			}
+			return err
+		}
+		backoff = 5 * time.Millisecond
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.closing.Load() {
+			s.mu.Unlock()
+			nc.Close()
+			return ErrServerClosed
+		}
+		s.conns[c] = struct{}{}
+		s.inFlight.Add(1)
+		s.mu.Unlock()
+		s.stats.connsTotal.Add(1)
+		s.stats.connsActive.Add(1)
+		go func() {
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, c)
+				s.mu.Unlock()
+				s.stats.connsActive.Add(-1)
+				s.inFlight.Done()
+			}()
+			c.serve()
+		}()
+	}
+}
+
+// Shutdown stops the server gracefully: the listener closes, every
+// connection is nudged out of its blocking read, drains the write
+// futures already fanned into the maintainer's pipeline, flushes its
+// buffered replies, and closes. Shutdown returns when every connection
+// goroutine has exited or ctx is done (then remaining connections are
+// closed hard).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.beginClose()
+	// Nudge blocked readers: a read deadline in the past wakes the read
+	// loop, which sees closing and performs the graceful drain.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Unix(0, 0))
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.inFlight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.closeConns()
+		return ctx.Err()
+	}
+}
+
+// Close stops the server immediately: listener and all connections are
+// closed; in-flight commands may go unanswered.
+func (s *Server) Close() error {
+	s.beginClose()
+	s.closeConns()
+	s.inFlight.Wait()
+	return nil
+}
+
+func (s *Server) beginClose() {
+	s.closing.Store(true)
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.nc.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.logSet {
+		if s.logger != nil {
+			s.logger.Printf(format, args...)
+		}
+		return
+	}
+	log.Printf(format, args...)
+}
