@@ -23,8 +23,10 @@ bench:
 # snapshot-publication families (full rebuild vs copy-on-write delta vs
 # JES dedup+delta vs grow, across n and |V*|) and the networked RESP
 # stack (pipelined vs unpipelined reads and writes over loopback TCP).
+# -benchmem records allocs/op and B/op so the zero-allocation command
+# path is tracked alongside throughput.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP' -json ./internal/snapshot ./server > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP' -benchmem -json ./internal/snapshot ./server > BENCH_serve.json
 
 # Fuzzing smoke pass: the engine differential fuzzer (every registered
 # engine against the BZ oracle on random mixed batches) and the RESP

@@ -36,6 +36,7 @@ func main() {
 		maxVertices = flag.Int("maxvertices", kcore.DefaultMaxVertices, "vertex-universe growth ceiling")
 		n           = flag.Int("n", 0, "initial (empty) vertex universe when -load is absent")
 		load        = flag.String("load", "", "preload graph from a whitespace edge-list file")
+		connShards  = flag.Int("conn-shards", -1, "event-loop connection shards (Linux; -1 = GOMAXPROCS, 0 = goroutine per conn)")
 		quiet       = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 			alg, *workers, g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(m)
+	srv := server.New(m, server.WithConnShards(*connShards))
 	// Closing the listener makes ListenAndServe return immediately, but
 	// the graceful drain (in-flight write futures, buffered replies) is
 	// still running inside Shutdown — main must wait for it before

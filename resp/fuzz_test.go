@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -47,28 +48,55 @@ func FuzzRESP(f *testing.F) {
 	// Missing terminators and stray bytes.
 	f.Add([]byte("*1\r\n$2\r\nabX\r\n"))
 	f.Add([]byte{0, '*', 0xff, '\r', '\n'})
+	// Inline commands: whitespace runs, tabs, bare-LF termination, blank
+	// lines between frames, and an over-limit unterminated line.
+	f.Add([]byte("  CORE.GET \t 7 \r\n\r\nQUIT\n"))
+	f.Add([]byte("PING" + strings.Repeat(" x", 300) + "\r\n"))
+	f.Add([]byte(strings.Repeat("z", MaxInlineLen+3)))
+	// Scratch-boundary cases for the arena path: an arg exactly at the
+	// arena's initial growth size (256), one straddling it, and a frame at
+	// the argument-count limit shape (many tiny args in one command).
+	f.Add([]byte("*2\r\n$4\r\nECHO\r\n$256\r\n" + strings.Repeat("a", 256) + "\r\n"))
+	f.Add([]byte("*2\r\n$255\r\n" + strings.Repeat("b", 255) + "\r\n$2\r\ncd\r\n"))
+	f.Add([]byte(argsBomb(64)))
+	f.Add([]byte("*1048577\r\n$1\r\nx\r\n")) // MaxCommandArgs+1 declared
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fuzzCommands(t, data)
 		fuzzValues(t, data)
+		diffParserReader(t, data)
 	})
+}
+
+// argsBomb builds one command of n one-byte args — the many-args shape
+// that stresses the ends/Args bookkeeping rather than the arena.
+func argsBomb(n int) string {
+	var sb strings.Builder
+	sb.WriteString("*")
+	sb.WriteString(strconv.Itoa(n))
+	sb.WriteString("\r\n")
+	for i := 0; i < n; i++ {
+		sb.WriteString("$1\r\nq\r\n")
+	}
+	return sb.String()
 }
 
 // fuzzCommands drives the server-side half: parse a pipelined run of
 // commands, re-encode, re-parse, compare.
 func fuzzCommands(t *testing.T, data []byte) {
 	r := NewReader(bytes.NewReader(data))
+	var cmd Command
 	var parsed [][][]byte
 	for len(parsed) < 128 {
-		args, err := r.ReadCommand()
+		err := r.ReadCommand(&cmd)
 		if err != nil {
 			checkReadErr(t, err)
 			break
 		}
-		if len(args) == 0 {
+		if len(cmd.Args) == 0 {
 			t.Fatalf("ReadCommand returned no args without error")
 		}
-		parsed = append(parsed, args)
+		parsed = append(parsed, copyArgs(&cmd))
 	}
 	if len(parsed) == 0 {
 		return
@@ -84,11 +112,12 @@ func fuzzCommands(t *testing.T, data []byte) {
 		t.Fatalf("Flush: %v", err)
 	}
 	r2 := NewReader(&wire)
+	var cmd2 Command
 	for i, want := range parsed {
-		got, err := r2.ReadCommand()
-		if err != nil {
+		if err := r2.ReadCommand(&cmd2); err != nil {
 			t.Fatalf("re-read command %d: %v", i, err)
 		}
+		got := cmd2.Args
 		if len(got) != len(want) {
 			t.Fatalf("command %d: %d args after round-trip, want %d", i, len(got), len(want))
 		}

@@ -1,0 +1,243 @@
+package resp
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// parseAll drives a Parser over data fed in chunks of chunkSize bytes,
+// the way an event loop would: append a read, parse what's complete,
+// compact the consumed prefix. Returns the commands parsed and the
+// terminal error (nil means all data consumed cleanly at a frame
+// boundary).
+func parseAll(t *testing.T, data []byte, chunkSize int) ([][][]byte, error) {
+	t.Helper()
+	var (
+		p    Parser
+		cmd  Command
+		buf  []byte
+		cmds [][][]byte
+	)
+	for off := 0; ; {
+		for {
+			n, err := p.Parse(buf, &cmd)
+			if err == ErrIncomplete {
+				buf = buf[n:] // compact skipped empty frames
+				break
+			}
+			if err != nil {
+				return cmds, err
+			}
+			cmds = append(cmds, copyArgs(&cmd))
+			buf = buf[n:]
+		}
+		if off >= len(data) {
+			if len(buf) > 0 {
+				return cmds, io.ErrUnexpectedEOF
+			}
+			return cmds, nil
+		}
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		// Rebuild the buffer with fresh backing to shake out any hidden
+		// dependence on stable capacity beyond the documented prefix rule.
+		buf = append(append(make([]byte, 0, len(buf)+end-off), buf...), data[off:end]...)
+		off = end
+	}
+}
+
+func TestParserBasic(t *testing.T) {
+	wire := []byte("*3\r\n$8\r\nCORE.GET\r\n$2\r\n42\r\n$0\r\n\r\nPING extra\r\n*0\r\n\r\n*1\r\n$4\r\nQUIT\r\n")
+	want := [][]string{
+		{"CORE.GET", "42", ""},
+		{"PING", "extra"},
+		{"QUIT"},
+	}
+	for _, chunk := range []int{len(wire), 7, 1} {
+		cmds, err := parseAll(t, wire, chunk)
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunk, err)
+		}
+		if len(cmds) != len(want) {
+			t.Fatalf("chunk %d: got %d commands, want %d", chunk, len(cmds), len(want))
+		}
+		for i, w := range want {
+			if len(cmds[i]) != len(w) {
+				t.Fatalf("chunk %d command %d: args %q, want %q", chunk, i, cmds[i], w)
+			}
+			for j := range w {
+				if string(cmds[i][j]) != w[j] {
+					t.Fatalf("chunk %d command %d arg %d: %q, want %q", chunk, i, j, cmds[i][j], w[j])
+				}
+			}
+		}
+	}
+}
+
+func TestParserMalformed(t *testing.T) {
+	cases := []string{
+		"*-2\r\n",
+		"*1\r\n$-5\r\n",
+		"*1\r\n:5\r\n",
+		"*1\r\n$2\r\nabcd",
+		"*x\r\n",
+		"*1\r\n$999999999999999999999\r\n",
+		"*1\r\n$70000000\r\n",
+		"*99999999999\r\n",
+	}
+	for _, wire := range cases {
+		var p Parser
+		var cmd Command
+		_, err := p.Parse([]byte(wire), &cmd)
+		var pe *ProtocolError
+		if !errors.As(err, &pe) {
+			t.Errorf("wire %q: err = %v, want protocol error", wire, err)
+		}
+	}
+}
+
+func TestParserIncompleteThenResume(t *testing.T) {
+	wire := []byte("*2\r\n$4\r\nPING\r\n$5\r\nhello\r\n")
+	var p Parser
+	var cmd Command
+	for cut := 0; cut < len(wire); cut++ {
+		p = Parser{}
+		n, err := p.Parse(wire[:cut], &cmd)
+		if err != ErrIncomplete || n != 0 {
+			t.Fatalf("cut %d: (%d, %v), want (0, ErrIncomplete)", cut, n, err)
+		}
+		n, err = p.Parse(wire, &cmd)
+		if err != nil || n != len(wire) {
+			t.Fatalf("cut %d resume: (%d, %v), want (%d, nil)", cut, n, err, len(wire))
+		}
+		if len(cmd.Args) != 2 || string(cmd.Args[0]) != "PING" || string(cmd.Args[1]) != "hello" {
+			t.Fatalf("cut %d: args %q", cut, cmd.Args)
+		}
+	}
+}
+
+// TestParserTrickleIsLinear feeds a large command one byte at a time; the
+// resumable scan state must keep total work linear. The guard is
+// indirect — a quadratic parser would blow the test timeout — but the
+// explicit assertion is that resumption never re-reports consumed bytes.
+func TestParserTrickleIsLinear(t *testing.T) {
+	payload := strings.Repeat("y", 1<<20)
+	wire := []byte("*2\r\n$3\r\nSET\r\n$1048576\r\n" + payload + "\r\n")
+	var p Parser
+	var cmd Command
+	for i := 1; i < len(wire); i++ {
+		n, err := p.Parse(wire[:i], &cmd)
+		if err != ErrIncomplete {
+			t.Fatalf("at %d bytes: err = %v, want ErrIncomplete", i, err)
+		}
+		if n != 0 {
+			t.Fatalf("at %d bytes: consumed %d mid-frame", i, n)
+		}
+	}
+	n, err := p.Parse(wire, &cmd)
+	if err != nil || n != len(wire) {
+		t.Fatalf("final: (%d, %v)", n, err)
+	}
+	if string(cmd.Args[1]) != payload {
+		t.Fatalf("payload corrupted (len %d)", len(cmd.Args[1]))
+	}
+}
+
+// TestParserMatchesReader is the differential check: the incremental
+// Parser and the streaming Reader must accept the same dialect and
+// produce the same commands. FuzzRESP runs the same comparison over the
+// fuzz corpus.
+func TestParserMatchesReader(t *testing.T) {
+	wires := []string{
+		"*1\r\n$4\r\nPING\r\n*3\r\n$8\r\nCORE.GET\r\n$2\r\n42\r\n$1\r\n7\r\n",
+		"PING\r\nCORE.MGET 1 2 3\r\n",
+		"\r\n*0\r\n\nPING\r\n*0\r\n",
+		"*2\r\n$4\r\nPING\r\n",
+		"*1\r\n$4\r\nPI",
+		"*-2\r\n",
+		"*1\r\n$70000000\r\n",
+		"QUIT\n",
+		"  leading   spaces\r\n",
+	}
+	for _, wire := range wires {
+		diffParserReader(t, []byte(wire))
+	}
+}
+
+// diffParserReader parses data with both implementations and requires
+// identical commands and compatible terminal errors. Shared with
+// FuzzRESP.
+func diffParserReader(t *testing.T, data []byte) {
+	t.Helper()
+
+	r := NewReader(bytes.NewReader(data))
+	var rc Command
+	var fromReader [][][]byte
+	var readerErr error
+	for len(fromReader) < 128 {
+		if err := r.ReadCommand(&rc); err != nil {
+			readerErr = err
+			break
+		}
+		fromReader = append(fromReader, copyArgs(&rc))
+	}
+
+	var (
+		p         Parser
+		pc        Command
+		fromParse [][][]byte
+		parseErr  error
+	)
+	buf := data
+	for len(fromParse) < 128 {
+		n, err := p.Parse(buf, &pc)
+		buf = buf[n:]
+		if err != nil {
+			parseErr = err
+			break
+		}
+		fromParse = append(fromParse, copyArgs(&pc))
+	}
+
+	if len(fromReader) != len(fromParse) {
+		t.Fatalf("reader parsed %d commands, parser %d (input %q)", len(fromReader), len(fromParse), clipBytes(data))
+	}
+	for i := range fromReader {
+		a, b := fromReader[i], fromParse[i]
+		if len(a) != len(b) {
+			t.Fatalf("command %d: reader %q vs parser %q", i, a, b)
+		}
+		for j := range a {
+			if !bytes.Equal(a[j], b[j]) {
+				t.Fatalf("command %d arg %d: reader %q vs parser %q", i, j, a[j], b[j])
+			}
+		}
+	}
+	// Terminal-error compatibility: a protocol error in one must be a
+	// protocol error in the other; stream exhaustion (clean EOF or
+	// truncation) maps to the parser's ErrIncomplete.
+	var pe *ProtocolError
+	readerProto := errors.As(readerErr, &pe)
+	parserProto := errors.As(parseErr, &pe)
+	if readerProto != parserProto {
+		t.Fatalf("terminal errors diverge: reader %v, parser %v (input %q)", readerErr, parseErr, clipBytes(data))
+	}
+	if !readerProto && readerErr != nil && !errors.Is(readerErr, io.EOF) && !errors.Is(readerErr, io.ErrUnexpectedEOF) {
+		t.Fatalf("reader error kind: %v", readerErr)
+	}
+	if !parserProto && parseErr != nil && parseErr != ErrIncomplete {
+		t.Fatalf("parser error kind: %v", parseErr)
+	}
+}
+
+func clipBytes(b []byte) []byte {
+	if len(b) > 64 {
+		return b[:64]
+	}
+	return b
+}

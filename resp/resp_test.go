@@ -8,19 +8,30 @@ import (
 	"testing"
 )
 
+// copyArgs deep-copies cmd.Args — the scratch is recycled by the next
+// ReadCommand/Parse, so tests that retain commands must copy them out.
+func copyArgs(cmd *Command) [][]byte {
+	out := make([][]byte, len(cmd.Args))
+	for i, a := range cmd.Args {
+		out[i] = append([]byte(nil), a...)
+	}
+	return out
+}
+
 func readAllCommands(t *testing.T, wire string) [][][]byte {
 	t.Helper()
 	r := NewReader(strings.NewReader(wire))
+	var cmd Command
 	var cmds [][][]byte
 	for {
-		args, err := r.ReadCommand()
+		err := r.ReadCommand(&cmd)
 		if err == io.EOF {
 			return cmds
 		}
 		if err != nil {
 			t.Fatalf("ReadCommand: %v", err)
 		}
-		cmds = append(cmds, args)
+		cmds = append(cmds, copyArgs(&cmd))
 	}
 }
 
@@ -69,19 +80,20 @@ func TestReadCommandPipelined(t *testing.T) {
 
 func TestReadCommandMalformed(t *testing.T) {
 	cases := []string{
-		"*-2\r\n",                      // negative multibulk count
-		"*1\r\n$-5\r\n",                // negative bulk length in command
-		"*1\r\n:5\r\n",                 // non-bulk argument
-		"*1\r\n$3\r\nab\r\n",           // payload shorter than declared
-		"*1\r\n$2\r\nabcd",             // missing CRLF after payload
-		"*x\r\n",                       // non-numeric count
+		"*-2\r\n",                          // negative multibulk count
+		"*1\r\n$-5\r\n",                    // negative bulk length in command
+		"*1\r\n:5\r\n",                     // non-bulk argument
+		"*1\r\n$3\r\nab\r\n",               // payload shorter than declared
+		"*1\r\n$2\r\nabcd",                 // missing CRLF after payload
+		"*x\r\n",                           // non-numeric count
 		"*1\r\n$999999999999999999999\r\n", // overflowing length
-		"*1\r\n$70000000\r\n",          // bulk beyond MaxBulkLen
-		"*99999999999\r\n",             // count beyond MaxArrayLen
+		"*1\r\n$70000000\r\n",              // bulk beyond MaxBulkLen
+		"*99999999999\r\n",                 // count beyond MaxArrayLen
 	}
 	for _, wire := range cases {
 		r := NewReader(strings.NewReader(wire))
-		_, err := r.ReadCommand()
+		var cmd Command
+		err := r.ReadCommand(&cmd)
 		var pe *ProtocolError
 		if !errors.As(err, &pe) && !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Errorf("wire %q: err = %v, want protocol error or unexpected EOF", wire, err)
@@ -94,7 +106,8 @@ func TestTruncatedCommandIsUnexpectedEOF(t *testing.T) {
 	// distinguishable so the server can log it as a protocol failure.
 	for _, wire := range []string{"*2\r\n$4\r\nPING\r\n", "*1\r\n$4\r\nPI", "*1\r\n"} {
 		r := NewReader(strings.NewReader(wire))
-		if _, err := r.ReadCommand(); !errors.Is(err, io.ErrUnexpectedEOF) {
+		var cmd Command
+		if err := r.ReadCommand(&cmd); !errors.Is(err, io.ErrUnexpectedEOF) {
 			t.Errorf("wire %q: err = %v, want io.ErrUnexpectedEOF", wire, err)
 		}
 	}
@@ -162,11 +175,11 @@ func TestValueRoundTrip(t *testing.T) {
 
 func TestReadValueMalformed(t *testing.T) {
 	cases := []string{
-		"?\r\n",            // unknown type byte
-		":12x\r\n",         // bad digit
-		"$-2\r\n",          // negative non-null bulk
-		"*-2\r\n",          // negative non-null array
-		"*2\r\n:1\r\n",     // truncated array
+		"?\r\n",        // unknown type byte
+		":12x\r\n",     // bad digit
+		"$-2\r\n",      // negative non-null bulk
+		"*-2\r\n",      // negative non-null array
+		"*2\r\n:1\r\n", // truncated array
 		strings.Repeat("*1\r\n", MaxDepth+2) + ":1\r\n", // nesting bomb
 	}
 	for _, wire := range cases {
@@ -183,13 +196,14 @@ func TestHugeDeclaredLengthDoesNotAllocate(t *testing.T) {
 	// A declared multibulk count within the limit but with no payload must
 	// fail from missing data without allocating count-many slots up front.
 	r := NewReader(strings.NewReader("*1000000\r\n"))
-	if _, err := r.ReadCommand(); !errors.Is(err, io.ErrUnexpectedEOF) {
+	var cmd Command
+	if err := r.ReadCommand(&cmd); !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("err = %v, want io.ErrUnexpectedEOF", err)
 	}
 	// Beyond MaxCommandArgs the count itself is the protocol error.
 	r = NewReader(strings.NewReader("*10000000\r\n"))
 	var pe *ProtocolError
-	if _, err := r.ReadCommand(); !errors.As(err, &pe) {
+	if err := r.ReadCommand(&cmd); !errors.As(err, &pe) {
 		t.Fatalf("err = %v, want protocol error", err)
 	}
 }

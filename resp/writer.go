@@ -2,6 +2,7 @@ package resp
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"strconv"
 	"strings"
@@ -27,6 +28,11 @@ func NewWriter(w io.Writer) *Writer {
 func NewWriterSize(w io.Writer, size int) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, size)}
 }
+
+// Reset discards unflushed data and switches the Writer to write to wr,
+// keeping the internal buffer (for connection reuse without
+// reallocation).
+func (w *Writer) Reset(wr io.Writer) { w.bw.Reset(wr) }
 
 // Flush writes everything buffered to the underlying stream.
 func (w *Writer) Flush() error { return w.bw.Flush() }
@@ -56,6 +62,25 @@ func (w *Writer) WriteError(msg string) error {
 	return err
 }
 
+// WriteErrorBytes is WriteError for a message already assembled as
+// bytes (the server's per-connection error scratch), avoiding the
+// string conversion. The same CR/LF neutralization applies.
+func (w *Writer) WriteErrorBytes(msg []byte) error {
+	w.bw.WriteByte('-')
+	if bytes.IndexByte(msg, '\r') < 0 && bytes.IndexByte(msg, '\n') < 0 {
+		w.bw.Write(msg)
+	} else {
+		for _, c := range msg {
+			if c == '\r' || c == '\n' {
+				c = ' '
+			}
+			w.bw.WriteByte(c)
+		}
+	}
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
 // writeLineSafe writes s with frame-terminator bytes neutralized. The
 // common all-clean case is one WriteString.
 func (w *Writer) writeLineSafe(s string) {
@@ -72,8 +97,26 @@ func (w *Writer) writeLineSafe(s string) {
 	}
 }
 
-// WriteInt writes a ":<n>\r\n" integer reply.
+// WriteOK writes the interned "+OK\r\n" reply.
+func (w *Writer) WriteOK() error {
+	_, err := w.bw.Write(okReply)
+	return err
+}
+
+// WritePong writes the interned "+PONG\r\n" reply.
+func (w *Writer) WritePong() error {
+	_, err := w.bw.Write(pongReply)
+	return err
+}
+
+// WriteInt writes a ":<n>\r\n" integer reply. Small non-negative values
+// — the overwhelming majority of coreness replies — come from the
+// interned table and skip formatting entirely.
 func (w *Writer) WriteInt(n int64) error {
+	if 0 <= n && n < smallIntCacheSize {
+		_, err := w.bw.Write(intReplies[n])
+		return err
+	}
 	w.bw.WriteByte(':')
 	return w.writeIntLine(n)
 }
@@ -97,9 +140,9 @@ func (w *Writer) WriteBulkString(s string) error {
 	return err
 }
 
-// WriteNull writes the null bulk reply "$-1\r\n".
+// WriteNull writes the interned null bulk reply "$-1\r\n".
 func (w *Writer) WriteNull() error {
-	_, err := w.bw.WriteString("$-1\r\n")
+	_, err := w.bw.Write(nullReply)
 	return err
 }
 

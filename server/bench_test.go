@@ -1,13 +1,16 @@
 package server
 
 import (
+	"io"
 	"math/rand"
 	"net"
+	"strconv"
 	"testing"
 
 	"repro/client"
 	"repro/gen"
 	"repro/kcore"
+	"repro/resp"
 )
 
 // BenchmarkServeRESP measures the networked serving stack end to end —
@@ -129,4 +132,86 @@ func BenchmarkServeRESP(b *testing.B) {
 		}
 		reportOps(b)
 	})
+}
+
+// appendRESPCommand serializes one multibulk command the way a client
+// sends it.
+func appendRESPCommand(buf []byte, args ...string) []byte {
+	buf = append(buf, '*')
+	buf = strconv.AppendInt(buf, int64(len(args)), 10)
+	buf = append(buf, '\r', '\n')
+	for _, a := range args {
+		buf = append(buf, '$')
+		buf = strconv.AppendInt(buf, int64(len(a)), 10)
+		buf = append(buf, '\r', '\n')
+		buf = append(buf, a...)
+		buf = append(buf, '\r', '\n')
+	}
+	return buf
+}
+
+// BenchmarkHotPathAllocs asserts the zero-allocation contract of the
+// server-side command path: a pipelined burst of read commands —
+// parse, dispatch, snapshot read, reply — allocates NOTHING once the
+// connection's scratch is warm. It drives the same parse→handle→flush
+// core the conn shards run, against a pre-serialized burst, so the
+// measurement covers exactly the per-command server work (no sockets,
+// no client). CI runs it with -benchtime=1x as a regression tripwire.
+func BenchmarkHotPathAllocs(b *testing.B) {
+	const n = 10_000
+	maint := kcore.New(gen.ErdosRenyi(n, 40_000, 1), kcore.WithWorkers(1))
+	defer maint.Close()
+	srv := New(maint)
+	c := &conn{srv: srv, wr: resp.NewWriterSize(io.Discard, 16<<10)}
+
+	const depth = 64
+	rng := rand.New(rand.NewSource(5))
+	var getBurst, pingBurst []byte
+	for i := 0; i < depth; i++ {
+		v := strconv.Itoa(int(rng.Int31n(n)))
+		getBurst = appendRESPCommand(getBurst, "CORE.GET", v)
+		pingBurst = appendRESPCommand(pingBurst, "PING")
+	}
+
+	runBurst := func(burst []byte) {
+		off := 0
+		for {
+			m, err := c.par.Parse(burst[off:], &c.cmd)
+			off += m
+			if err == resp.ErrIncomplete {
+				break
+			}
+			if err != nil {
+				b.Fatalf("parse: %v", err)
+			}
+			c.handle(c.cmd.Args)
+		}
+		c.endCycle()
+		if err := c.wr.Flush(); err != nil {
+			b.Fatalf("flush: %v", err)
+		}
+	}
+
+	for _, tc := range []struct {
+		name  string
+		burst []byte
+	}{
+		{"pipelinedGet", getBurst},
+		{"ping", pingBurst},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			runBurst(tc.burst) // warm scratch: arena, stats ring, writer buffer
+			allocs := testing.AllocsPerRun(100, func() { runBurst(tc.burst) })
+			perOp := allocs / depth
+			b.ReportMetric(perOp, "allocs/op")
+			if perOp != 0 {
+				b.Fatalf("hot path allocates: %.2f allocs/op (%.0f per %d-deep burst), want 0",
+					perOp, allocs, depth)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runBurst(tc.burst)
+			}
+		})
+	}
 }

@@ -47,13 +47,13 @@ func cmdPing(c *conn, args [][]byte) bool {
 	if len(args) == 2 {
 		c.wr.WriteBulk(args[1])
 	} else {
-		c.wr.WriteSimple("PONG")
+		c.wr.WritePong()
 	}
 	return false
 }
 
 func cmdQuit(c *conn, args [][]byte) bool {
-	c.wr.WriteSimple("OK")
+	c.wr.WriteOK()
 	return true
 }
 
@@ -80,16 +80,18 @@ func cmdMGet(c *conn, args [][]byte) bool {
 	s := c.srv.m.Snapshot()
 	n := int32(s.N())
 	// Validate (and parse once) before writing: an array reply cannot
-	// carry a trailing error without desynchronizing the stream.
-	ids := make([]int32, len(args)-1)
-	for i, a := range args[1:] {
+	// carry a trailing error without desynchronizing the stream. The id
+	// buffer is per-conn scratch, recycled across commands.
+	ids := c.ids[:0]
+	for _, a := range args[1:] {
 		v, ok := parseVertex(a)
 		if !ok {
-			c.writeError("ERR invalid vertex id '" + clip(a) + "'")
+			c.writeErrArg("invalid vertex id", a)
 			return false
 		}
-		ids[i] = v
+		ids = append(ids, v)
 	}
+	c.ids = ids
 	c.wr.WriteArrayHeader(len(ids))
 	for _, v := range ids {
 		var core int32
@@ -109,7 +111,7 @@ func cmdInsert(c *conn, args [][]byte) bool {
 	if !ok {
 		return false
 	}
-	c.pending = append(c.pending, c.srv.m.InsertEdgesAsync(edges))
+	c.pending = append(c.pending, owed{pd: c.srv.m.InsertEdgesAsync(edges), edges: edges})
 	return false
 }
 
@@ -120,7 +122,7 @@ func cmdRemove(c *conn, args [][]byte) bool {
 	if !ok {
 		return false
 	}
-	c.pending = append(c.pending, c.srv.m.RemoveEdgesAsync(edges))
+	c.pending = append(c.pending, owed{pd: c.srv.m.RemoveEdgesAsync(edges), edges: edges})
 	return false
 }
 
@@ -145,7 +147,7 @@ func cmdHist(c *conn, args [][]byte) bool {
 func cmdKVert(c *conn, args [][]byte) bool {
 	k, ok := parseInt(args[1])
 	if !ok {
-		c.writeError("ERR invalid core value '" + clip(args[1]) + "'")
+		c.writeErrArg("invalid core value", args[1])
 		return false
 	}
 	hist := c.srv.m.Snapshot().Histogram()
@@ -171,7 +173,7 @@ func cmdDegeneracy(c *conn, args [][]byte) bool {
 func cmdGrow(c *conn, args [][]byte) bool {
 	k, ok := parseInt(args[1])
 	if !ok || k < 0 || k > int64(graph.MaxVertexID) {
-		c.writeError("ERR invalid vertex count '" + clip(args[1]) + "'")
+		c.writeErrArg("invalid vertex count", args[1])
 		return false
 	}
 	c.wr.WriteInt(int64(c.srv.m.AddVertices(int(k))))
@@ -201,7 +203,7 @@ func cmdCheck(c *conn, args [][]byte) bool {
 		c.writeError("ERR check failed: " + err.Error())
 		return false
 	}
-	c.wr.WriteSimple("OK")
+	c.wr.WriteOK()
 	return false
 }
 
@@ -254,30 +256,42 @@ func cmdStats(c *conn, args [][]byte) bool {
 func (c *conn) argVertex(a []byte) (int32, bool) {
 	v, ok := parseVertex(a)
 	if !ok {
-		c.writeError("ERR invalid vertex id '" + clip(a) + "'")
+		c.writeErrArg("invalid vertex id", a)
 	}
 	return v, ok
 }
 
 // argEdges parses the "u v [u v …]" tail of a write command, replying on
 // failure. The ids only need to be non-negative int32s here — the
-// maintainer's universe scan handles growth and its ceiling.
+// maintainer's universe scan handles growth and its ceiling. The
+// returned buffer comes from the connection's free list; it is lent to
+// the pipeline with the command's future and recycled by drainPending
+// once that future settles (the coalescer retains the slice until its
+// batch applies, so recycling any earlier would corrupt in-flight ops).
 func (c *conn) argEdges(args [][]byte) ([]graph.Edge, bool) {
 	tail := args[1:]
 	if len(tail)%2 != 0 {
-		c.writeError("ERR " + string(args[0]) + " takes vertex pairs (odd id count)")
+		c.writeErrParts("", args[0], " takes vertex pairs (odd id count)")
 		return nil, false
 	}
-	edges := make([]graph.Edge, 0, len(tail)/2)
+	var edges []graph.Edge
+	if n := len(c.edgeFree); n > 0 {
+		edges, c.edgeFree[n-1] = c.edgeFree[n-1], nil
+		c.edgeFree = c.edgeFree[:n-1]
+	} else {
+		edges = make([]graph.Edge, 0, max(len(tail)/2, 64))
+	}
 	for i := 0; i < len(tail); i += 2 {
 		u, ok := parseVertex(tail[i])
 		if !ok {
-			c.writeError("ERR invalid vertex id '" + clip(tail[i]) + "'")
+			c.edgeFree = append(c.edgeFree, edges[:0])
+			c.writeErrArg("invalid vertex id", tail[i])
 			return nil, false
 		}
 		v, ok := parseVertex(tail[i+1])
 		if !ok {
-			c.writeError("ERR invalid vertex id '" + clip(tail[i+1]) + "'")
+			c.edgeFree = append(c.edgeFree, edges[:0])
+			c.writeErrArg("invalid vertex id", tail[i+1])
 			return nil, false
 		}
 		edges = append(edges, graph.Edge{U: u, V: v})
@@ -325,28 +339,29 @@ func parseInt(a []byte) (int64, bool) {
 	return n, true
 }
 
-// clip bounds an untrusted argument echoed into an error message and
-// neutralizes non-printable bytes — resp.WriteError additionally strips
-// CR/LF, but the message should stay readable in logs and redis-cli
-// whatever bytes arrived.
-func clip(a []byte) string {
+// appendClipped appends an untrusted argument echoed into an error
+// message, bounded and with non-printable bytes neutralized —
+// resp.WriteErrorBytes additionally strips CR/LF, but the message should
+// stay readable in logs and redis-cli whatever bytes arrived. Appending
+// into the connection's error scratch keeps the error path free of
+// per-error allocations.
+func appendClipped(dst []byte, a []byte) []byte {
 	const maxEcho = 32
 	b := a
 	trunc := false
 	if len(b) > maxEcho {
 		b, trunc = b[:maxEcho], true
 	}
-	out := make([]byte, len(b))
-	for i, c := range b {
+	for _, c := range b {
 		if c < 0x20 || c == 0x7f {
 			c = '?'
 		}
-		out[i] = c
+		dst = append(dst, c)
 	}
 	if trunc {
-		return string(out) + "…"
+		dst = append(dst, "…"...)
 	}
-	return string(out)
+	return dst
 }
 
 func itoa(n int64) string { return strconv.FormatInt(n, 10) }

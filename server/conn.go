@@ -5,12 +5,20 @@ import (
 	"io"
 	"net"
 
+	"repro/graph"
 	"repro/kcore"
 	"repro/resp"
 )
 
-// conn is one client connection: its own RESP reader/writer and the
-// queue of write futures whose replies are still owed.
+// conn is one client connection: its own RESP codec state, the queue of
+// write futures whose replies are still owed, and the per-connection
+// scratch that keeps the steady-state command path allocation-free —
+// the command arena (resp.Command), the CORE.MGET id buffer, the
+// CORE.INSERT/REMOVE edge buffers, and the error-message buffer. The
+// same struct backs both connection-handling modes: the classic
+// goroutine-per-conn loop (serve) and the event-driven conn shards
+// (shard_linux.go), which reuse the dispatch core and add their own
+// read/write plumbing.
 //
 // The dispatch loop preserves RESP's per-connection semantics — replies
 // in command order, reads observe earlier writes — while letting a
@@ -24,53 +32,106 @@ import (
 // observationally identical to executing the commands one at a time —
 // just in ~one engine round instead of one per command.
 type conn struct {
-	srv     *Server
-	nc      net.Conn
-	rd      *resp.Reader
-	wr      *resp.Writer
-	pending []*kcore.Pending
+	srv *Server
+	nc  net.Conn
+	rd  *resp.Reader // goroutine mode; nil under a conn shard
+	wr  *resp.Writer
+
+	cmd     resp.Command
+	pending []owed
 	cycle   int64 // commands since the last reply flush (pipelining depth)
+
+	// Recycled scratch. edgeFree holds edge buffers whose futures have
+	// settled — a buffer lent to the maintainer's pipeline is retained by
+	// the coalescer until its batch applies, so it is only safe to reuse
+	// after the owed future's Wait returns (drainPending recycles there).
+	ids      []int32
+	edgeFree [][]graph.Edge
+	errBuf   []byte
+
+	// Event-mode state (conn shards); unused in goroutine mode.
+	shard *connShard
+	fd    int
+	in    []byte      // unconsumed query bytes
+	out   []byte      // reply bytes the socket wouldn't take yet
+	par   resp.Parser // incremental parser over in
+	flags connFlags
+}
+
+type connFlags uint8
+
+const (
+	connWantWrite connFlags = 1 << iota // EPOLLOUT armed (out non-empty)
+	connPaused                          // input paused until out drains
+	connDead                            // fd failed; close on next touch
+)
+
+// owed pairs a deferred write reply with the edge buffer lent to the
+// pipeline for it.
+type owed struct {
+	pd    *kcore.Pending
+	edges []graph.Edge
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
+	// The reader is created lazily in serve: a connection adopted by a
+	// conn shard parses from its query buffer instead and would waste the
+	// stream buffer.
 	return &conn{
 		srv: s,
 		nc:  nc,
-		rd:  resp.NewReaderSize(nc, 16<<10),
 		wr:  resp.NewWriterSize(nc, 16<<10),
 	}
 }
 
-// serve is the connection goroutine body.
+// serve is the goroutine-per-connection loop (the fallback mode; conn
+// shards replace it on Linux).
 func (c *conn) serve() {
 	defer c.nc.Close()
+	if c.rd == nil {
+		c.rd = resp.NewReaderSize(c.nc, 16<<10)
+	}
 	for {
-		args, err := c.rd.ReadCommand()
+		err := c.rd.ReadCommand(&c.cmd)
 		if err != nil {
 			c.readFailed(err)
 			return
 		}
-		c.srv.stats.commands.Add(1)
-		c.cycle++
-		if quit := c.dispatch(args); quit {
+		if quit := c.handle(c.cmd.Args); quit {
 			c.drainPending()
 			c.wr.Flush()
 			return
 		}
-		if len(c.pending) >= c.srv.maxPipeline {
-			c.drainPending()
-		}
 		if !c.rd.Buffered() {
 			// The pipelined burst is over (nothing left undecoded):
 			// settle the write futures and flush all replies in one write.
-			c.drainPending()
-			c.srv.stats.pipeDepth.RecordValue(float64(c.cycle))
-			c.cycle = 0
+			c.endCycle()
 			if err := c.wr.Flush(); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// handle runs one decoded command: the shared core of both modes.
+func (c *conn) handle(args [][]byte) (quit bool) {
+	c.srv.stats.commands.Add(1)
+	c.cycle++
+	if quit := c.dispatch(args); quit {
+		return true
+	}
+	if len(c.pending) >= c.srv.maxPipeline {
+		c.drainPending()
+	}
+	return false
+}
+
+// endCycle settles deferred write replies and records the observed
+// pipelining depth; called when a pipelined burst ends.
+func (c *conn) endCycle() {
+	c.drainPending()
+	c.srv.stats.pipeDepth.RecordValue(float64(c.cycle))
+	c.cycle = 0
 }
 
 // readFailed finishes the connection after a failed read: owed replies
@@ -107,11 +168,11 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 	name := asciiUpper(args[0])
 	cmd, ok := commands[string(name)] // no-alloc map lookup on []byte key
 	if !ok {
-		c.writeError("ERR unknown command '" + clip(args[0]) + "'")
+		c.writeErrArg("unknown command", args[0])
 		return false
 	}
 	if len(args) < cmd.minArgs || (cmd.maxArgs >= 0 && len(args) > cmd.maxArgs) {
-		c.writeError("ERR wrong number of arguments for '" + cmd.name + "'")
+		c.writeErrParts("wrong number of arguments for '", []byte(cmd.name), "'")
 		return false
 	}
 	if !cmd.write {
@@ -127,15 +188,28 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 // drainPending waits each owed write future in submission order and
 // writes its reply: the applied-edge count of the coalesced engine batch
 // that covered the command (shared across coalesced ops, exactly like
-// the in-process BatchResult contract).
+// the in-process BatchResult contract). The edge buffer lent to the
+// pipeline is recycled here — only after Wait proves the batch applied.
 func (c *conn) drainPending() {
-	for i, pd := range c.pending {
-		res := pd.Wait()
+	for i := range c.pending {
+		res := c.pending[i].pd.Wait()
 		c.wr.WriteInt(int64(res.Applied))
-		c.pending[i] = nil
+		if eb := c.pending[i].edges; cap(eb) <= maxEdgeScratch && len(c.edgeFree) < maxEdgeFree {
+			c.edgeFree = append(c.edgeFree, eb[:0])
+		}
+		c.pending[i] = owed{}
 	}
 	c.pending = c.pending[:0]
 }
+
+const (
+	// maxEdgeScratch bounds how large a recycled edge buffer may stay; a
+	// monster CORE.INSERT should not pin its buffer on an idle conn.
+	maxEdgeScratch = 4096
+	// maxEdgeFree bounds the free list (deep write pipelines lend several
+	// buffers out at once before the first drain returns any).
+	maxEdgeFree = 8
+)
 
 // writeError emits an error reply. Every owed write future settles
 // first: replies must leave in command order, and an immediate error
@@ -148,8 +222,40 @@ func (c *conn) writeError(msg string) {
 	c.wr.WriteError(msg)
 }
 
+// writeErrArg emits "ERR <what> '<arg>'" with the untrusted argument
+// clipped and sanitized, building the message in the connection's error
+// scratch — no string concatenation, no per-error allocations.
+func (c *conn) writeErrArg(what string, arg []byte) {
+	b := append(c.errBuf[:0], "ERR "...)
+	b = append(b, what...)
+	b = append(b, " '"...)
+	b = appendClipped(b, arg)
+	b = append(b, '\'')
+	c.errBuf = b
+	c.writeErrBytes(b)
+}
+
+// writeErrParts emits "ERR <s1><b><s2>" the same way, for error shapes
+// whose dynamic part needs no clipping (command names from the table).
+func (c *conn) writeErrParts(s1 string, mid []byte, s2 string) {
+	b := append(c.errBuf[:0], "ERR "...)
+	b = append(b, s1...)
+	b = append(b, mid...)
+	b = append(b, s2...)
+	c.errBuf = b
+	c.writeErrBytes(b)
+}
+
+func (c *conn) writeErrBytes(msg []byte) {
+	c.drainPending()
+	c.srv.stats.errorsSent.Add(1)
+	c.wr.WriteErrorBytes(msg)
+}
+
 // asciiUpper upper-cases b in place (command names are ASCII) and
-// returns it; the reader hands us freshly owned slices.
+// returns it. The bytes live in the connection's own scratch (arena or
+// query buffer), already consumed past by the parser, so mutating them
+// is safe.
 func asciiUpper(b []byte) []byte {
 	for i, ch := range b {
 		if 'a' <= ch && ch <= 'z' {

@@ -48,6 +48,20 @@ func WithMaxPipeline(n int) Option {
 	}
 }
 
+// WithConnShards sets how many event-loop conn-shard workers handle
+// connections (Linux only; see shard_linux.go). The default is
+// GOMAXPROCS. Pass 0 to disable sharding and serve every connection
+// with its own goroutine — the only mode on other platforms, and the
+// automatic fallback when shard setup fails. Negative values leave the
+// default.
+func WithConnShards(n int) Option {
+	return func(s *Server) {
+		if n >= 0 {
+			s.connShards = n
+		}
+	}
+}
+
 const defaultMaxPipeline = 512
 
 // Server serves one Maintainer over RESP. Create with New, start with
@@ -55,14 +69,16 @@ const defaultMaxPipeline = 512
 type Server struct {
 	m           *kcore.Maintainer
 	maxPipeline int
+	connShards  int
 	logger      *log.Logger
 	logSet      bool
 
 	mu       sync.Mutex
 	ln       net.Listener
 	conns    map[*conn]struct{}
-	inFlight sync.WaitGroup // one per live connection goroutine
+	inFlight sync.WaitGroup // one per connection goroutine / shard worker
 	closing  atomic.Bool
+	sg       *shardGroup
 
 	stats serveCounters
 }
@@ -102,6 +118,7 @@ func New(m *kcore.Maintainer, opts ...Option) *Server {
 	s := &Server{
 		m:           m,
 		maxPipeline: defaultMaxPipeline,
+		connShards:  defaultConnShards(),
 		conns:       make(map[*conn]struct{}),
 	}
 	for _, o := range opts {
@@ -165,6 +182,16 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	s.mu.Unlock()
 
+	if s.connShards > 0 {
+		sg := newShardGroup(s, s.connShards) // nil = unsupported; fall back
+		s.mu.Lock()
+		s.sg = sg
+		s.mu.Unlock()
+		if sg != nil && s.closing.Load() {
+			sg.wakeAll() // Shutdown raced shard startup; let the workers exit
+		}
+	}
+
 	// Transient accept failures (fd exhaustion under connection fan-in,
 	// ECONNABORTED) must not kill the listener: back off and retry, the
 	// way net/http does; only hard errors end Serve.
@@ -196,10 +223,13 @@ func (s *Server) Serve(ln net.Listener) error {
 			return ErrServerClosed
 		}
 		s.conns[c] = struct{}{}
-		s.inFlight.Add(1)
 		s.mu.Unlock()
 		s.stats.connsTotal.Add(1)
 		s.stats.connsActive.Add(1)
+		if s.sg != nil && s.sg.adopt(c) {
+			continue // a shard worker owns the connection now
+		}
+		s.inFlight.Add(1)
 		go func() {
 			defer func() {
 				s.mu.Lock()
@@ -258,7 +288,11 @@ func (s *Server) beginClose() {
 	if s.ln != nil {
 		s.ln.Close()
 	}
+	sg := s.sg
 	s.mu.Unlock()
+	if sg != nil {
+		sg.wakeAll() // pop shard workers out of EpollWait
+	}
 }
 
 func (s *Server) closeConns() {

@@ -1,0 +1,583 @@
+//go:build linux
+
+package server
+
+import (
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+
+	"repro/resp"
+)
+
+// Conn shards: the event-driven connection-handling mode (Linux only).
+//
+// Instead of one goroutine per connection, connections are distributed
+// round-robin across a fixed set of shard workers (GOMAXPROCS by
+// default, kcored's -conn-shards flag). Each worker runs its own epoll
+// loop over the connections it owns: it reads a ready socket until
+// EAGAIN, parses the bytes incrementally (resp.Parser — zero-copy out
+// of the query buffer), dispatches through the same per-conn command
+// core as the goroutine mode, and flushes replies once per readiness
+// burst. The fixed worker count removes per-conn goroutine stacks and
+// scheduler churn, and keeps a pipelined burst's parse→dispatch→reply
+// cycle on one core, cache-hot — the kiwi event-multiplexing design,
+// adapted to the maintainer's async write futures.
+//
+// Raw epoll coexists with the Go runtime's netpoller: the listener and
+// accept path stay on the runtime, and an adopted connection's fd is
+// only ever read/written by its shard worker (the runtime still owns
+// closing it via net.Conn.Close). Each worker blocks in EpollWait; a
+// self-pipe wakes it for shutdown, where every connection gets the same
+// graceful drain as the goroutine mode: remaining complete commands
+// processed, write futures settled, replies flushed, then close.
+
+// defaultConnShards is the shard count when WithConnShards is not given.
+func defaultConnShards() int { return runtime.GOMAXPROCS(0) }
+
+type shardGroup struct {
+	srv    *Server
+	shards []*connShard
+	next   atomic.Uint64
+}
+
+// newShardGroup builds n shard workers and starts them. Any setup
+// failure tears the group down and returns nil — the server then falls
+// back to goroutine-per-conn mode.
+func newShardGroup(s *Server, n int) *shardGroup {
+	sg := &shardGroup{srv: s}
+	for i := 0; i < n; i++ {
+		sh, err := newConnShard(s)
+		if err != nil {
+			for _, prev := range sg.shards {
+				prev.closeFDs()
+			}
+			s.logf("server: conn shards unavailable (%v); using goroutine per conn", err)
+			return nil
+		}
+		sg.shards = append(sg.shards, sh)
+	}
+	for _, sh := range sg.shards {
+		s.inFlight.Add(1)
+		go func(sh *connShard) {
+			defer s.inFlight.Done()
+			sh.run()
+		}(sh)
+	}
+	return sg
+}
+
+// adopt moves an accepted connection onto a shard. It reports false if
+// the connection cannot be event-managed (no syscall access); the
+// caller then serves it with a goroutine.
+func (sg *shardGroup) adopt(c *conn) bool {
+	sc, ok := c.nc.(syscall.Conn)
+	if !ok {
+		return false
+	}
+	raw, err := sc.SyscallConn()
+	if err != nil {
+		return false
+	}
+	fd := -1
+	// The runtime keeps the socket non-blocking; Control only extracts
+	// the fd (unlike File(), which would switch the socket to blocking).
+	// The fd stays valid because the shard closes the conn through
+	// net.Conn.Close, never behind the runtime's back.
+	if err := raw.Control(func(f uintptr) { fd = int(f) }); err != nil || fd < 0 {
+		return false
+	}
+	sh := sg.shards[int(sg.next.Add(1))%len(sg.shards)]
+	return sh.adopt(c, fd)
+}
+
+func (sg *shardGroup) wakeAll() {
+	for _, sh := range sg.shards {
+		sh.wake()
+	}
+}
+
+type connShard struct {
+	srv   *Server
+	epfd  int
+	wakeR int
+	wakeW int
+
+	// epFile wraps epfd so the worker can park on the Go runtime's
+	// netpoller while the shard is idle. A raw blocking EpollWait would
+	// pin its P in syscall state until sysmon retakes it — with few
+	// cores that adds sysmon-interval latency (tens to hundreds of µs)
+	// to every quiet-connection wakeup. An epoll fd is itself pollable
+	// (readable when events are pending), so the worker waits for epfd
+	// readiness like any socket, then drains events with a zero-timeout
+	// EpollWait.
+	epFile *os.File
+	epRaw  syscall.RawConn
+
+	// Pre-bound state for the netpoller wait: the drain closure and the
+	// variables it writes live on the shard so no closure (or escaping
+	// capture) is allocated per wakeup.
+	events   []syscall.EpollEvent
+	waitN    int
+	waitErr  error
+	drainEvs func(fd uintptr) bool
+
+	// conns maps fd → conn. The worker owns the conns themselves; the
+	// map is locked only because the acceptor inserts into it.
+	mu    sync.Mutex
+	conns map[int]*conn
+}
+
+func newConnShard(s *Server) (*connShard, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	// Self-pipe wakeup (the syscall package has no eventfd): a byte on
+	// wakeW pops the worker out of its wait for shutdown.
+	var p [2]int
+	if err := syscall.Pipe2(p[:], syscall.O_NONBLOCK|syscall.O_CLOEXEC); err != nil {
+		syscall.Close(epfd)
+		return nil, err
+	}
+	sh := &connShard{srv: s, epfd: epfd, wakeR: p[0], wakeW: p[1], conns: make(map[int]*conn)}
+	ev := syscall.EpollEvent{Events: uint32(syscall.EPOLLIN), Fd: int32(sh.wakeR)}
+	if err := syscall.EpollCtl(epfd, syscall.EPOLL_CTL_ADD, sh.wakeR, &ev); err != nil {
+		sh.closeFDs()
+		return nil, err
+	}
+	// Non-blocking first: os.NewFile only hands a non-blocking fd to the
+	// runtime poller (epoll_wait with a zero timeout is unaffected).
+	if err := syscall.SetNonblock(epfd, true); err == nil {
+		sh.epFile = os.NewFile(uintptr(epfd), "epoll")
+		if raw, err := sh.epFile.SyscallConn(); err == nil {
+			sh.epRaw = raw
+		}
+	}
+	sh.events = make([]syscall.EpollEvent, 128)
+	sh.drainEvs = func(fd uintptr) bool {
+		for {
+			m, e := syscall.EpollWait(int(fd), sh.events, 0)
+			if e == syscall.EINTR {
+				continue
+			}
+			sh.waitN, sh.waitErr = m, e
+			return m > 0 || e != nil
+		}
+	}
+	return sh, nil
+}
+
+func (sh *connShard) closeFDs() {
+	if sh.epFile != nil {
+		sh.epFile.Close() // owns epfd
+	} else {
+		syscall.Close(sh.epfd)
+	}
+	syscall.Close(sh.wakeR)
+	syscall.Close(sh.wakeW)
+}
+
+// waitEvents blocks until epoll events are pending and drains up to
+// len(sh.events) of them, parking on the runtime netpoller while idle.
+func (sh *connShard) waitEvents() (int, error) {
+	if sh.epRaw != nil {
+		sh.waitN, sh.waitErr = 0, nil
+		err := sh.epRaw.Read(sh.drainEvs)
+		if sh.waitN > 0 || sh.waitErr != nil {
+			return sh.waitN, sh.waitErr
+		}
+		if err != nil {
+			// The runtime refused to poll this fd (pollability probe lost a
+			// race, unusual kernel); degrade to raw blocking waits for good.
+			sh.epRaw = nil
+		} else {
+			return 0, nil
+		}
+	}
+	// Fallback (epfd not pollable through the runtime): block raw.
+	for {
+		n, err := syscall.EpollWait(sh.epfd, sh.events, -1)
+		if err == syscall.EINTR {
+			continue
+		}
+		return n, err
+	}
+}
+
+func (sh *connShard) wake() {
+	var b [1]byte
+	syscall.Write(sh.wakeW, b[:]) // EAGAIN when full is fine: a wake is pending
+}
+
+func (sh *connShard) adopt(c *conn, fd int) bool {
+	c.shard, c.fd = sh, fd
+	c.rd = nil // event mode parses from the query buffer, not a stream
+	c.wr.Reset(shardSink{c})
+	sh.mu.Lock()
+	sh.conns[fd] = c
+	sh.mu.Unlock()
+	ev := syscall.EpollEvent{Events: connInterest, Fd: int32(fd)}
+	if err := syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		sh.mu.Lock()
+		delete(sh.conns, fd)
+		sh.mu.Unlock()
+		c.shard, c.fd = nil, 0
+		c.wr.Reset(c.nc)
+		return false
+	}
+	return true
+}
+
+const (
+	connInterest = uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP)
+	// readChunk is how much socket data one read syscall may pull in.
+	readChunk = 16 << 10
+	// inShrinkCap bounds the query buffer kept on an idle connection.
+	inShrinkCap = 64 << 10
+	// maxOutBuf bounds bufferable reply bytes; beyond it the shard stops
+	// reading the connection until the peer drains its replies — the
+	// event-mode equivalent of the goroutine mode blocking on write.
+	maxOutBuf = 1 << 20
+)
+
+func (sh *connShard) lookup(fd int) *conn {
+	sh.mu.Lock()
+	c := sh.conns[fd]
+	sh.mu.Unlock()
+	return c
+}
+
+// run is the shard worker loop.
+func (sh *connShard) run() {
+	for {
+		n, err := sh.waitEvents()
+		if err != nil {
+			sh.srv.logf("server: epoll_wait: %v", err)
+			break
+		}
+		events := sh.events
+		for i := 0; i < n; i++ {
+			ev := &events[i]
+			fd := int(ev.Fd)
+			if fd == sh.wakeR {
+				sh.drainWake()
+				continue
+			}
+			c := sh.lookup(fd)
+			if c == nil {
+				continue
+			}
+			if ev.Events&uint32(syscall.EPOLLOUT) != 0 {
+				sh.writable(c)
+			}
+			if ev.Events&uint32(syscall.EPOLLIN|syscall.EPOLLRDHUP|syscall.EPOLLHUP|syscall.EPOLLERR) != 0 {
+				sh.pump(c)
+			}
+		}
+		if sh.srv.closing.Load() {
+			sh.finish()
+			sh.closeFDs()
+			return
+		}
+	}
+}
+
+func (sh *connShard) drainWake() {
+	var buf [64]byte
+	for {
+		if _, err := syscall.Read(sh.wakeR, buf[:]); err != nil {
+			return
+		}
+	}
+}
+
+// pump reads the connection until EAGAIN, parsing and dispatching the
+// complete commands after every chunk, then settles the burst: deferred
+// write futures drained, replies flushed — the event-mode mirror of the
+// goroutine loop's "!rd.Buffered()" boundary.
+func (sh *connShard) pump(c *conn) {
+	if c.flags&connDead != 0 {
+		sh.closeConn(c)
+		return
+	}
+	if c.flags&connPaused != 0 {
+		return
+	}
+	peerClosed := false
+	var readErr syscall.Errno
+	for {
+		c.ensureInSpace()
+		n, err := syscall.Read(c.fd, c.in[len(c.in):cap(c.in)])
+		if n > 0 {
+			c.in = c.in[:len(c.in)+n]
+			if closed := sh.parseAndDispatch(c); closed {
+				return
+			}
+			if c.flags&connPaused != 0 {
+				break // output back-pressure: stop reading for now
+			}
+			continue
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		if err == nil {
+			peerClosed = true // read returned 0: EOF
+		} else if e, ok := err.(syscall.Errno); ok {
+			readErr = e
+		} else {
+			peerClosed = true
+		}
+		break
+	}
+	if c.cycle > 0 {
+		c.endCycle()
+	} else {
+		c.drainPending()
+	}
+	if err := c.wr.Flush(); err != nil || c.flags&connDead != 0 {
+		sh.closeConn(c)
+		return
+	}
+	if peerClosed || readErr != 0 {
+		if readErr != 0 && readErr != syscall.ECONNRESET && readErr != syscall.EBADF {
+			sh.srv.logf("server: read from %v: %v", c.nc.RemoteAddr(), readErr)
+		}
+		sh.closeConn(c)
+	}
+}
+
+// parseAndDispatch consumes every complete command in the query buffer.
+// It reports whether the connection was closed (QUIT or protocol
+// error).
+func (sh *connShard) parseAndDispatch(c *conn) (closed bool) {
+	off := 0
+	for {
+		n, err := c.par.Parse(c.in[off:], &c.cmd)
+		off += n
+		if err == resp.ErrIncomplete {
+			break
+		}
+		if err != nil {
+			c.in = c.in[:0]
+			c.readFailed(err) // drains futures, writes the error reply, flushes
+			sh.closeConn(c)
+			return true
+		}
+		if quit := c.handle(c.cmd.Args); quit {
+			c.drainPending()
+			c.wr.Flush()
+			sh.closeConn(c)
+			return true
+		}
+	}
+	if off > 0 {
+		c.in = append(c.in[:0], c.in[off:]...)
+	}
+	if len(c.in) == 0 && cap(c.in) > inShrinkCap {
+		c.in = nil
+	}
+	return false
+}
+
+func (c *conn) ensureInSpace() {
+	if cap(c.in)-len(c.in) >= 4<<10 {
+		return
+	}
+	newCap := 2 * cap(c.in)
+	if newCap < len(c.in)+readChunk {
+		newCap = len(c.in) + readChunk
+	}
+	nb := make([]byte, len(c.in), newCap)
+	copy(nb, c.in)
+	c.in = nb
+}
+
+// shardSink is the resp.Writer's destination for a sharded connection:
+// it writes straight to the socket and buffers only what the socket
+// refuses (EAGAIN), arming EPOLLOUT for the remainder.
+type shardSink struct{ c *conn }
+
+func (s shardSink) Write(p []byte) (int, error) {
+	c := s.c
+	if c.flags&connDead != 0 {
+		return 0, net.ErrClosed
+	}
+	if len(c.out) > 0 {
+		c.out = append(c.out, p...)
+		c.checkOutCap()
+		return len(p), nil
+	}
+	n := 0
+	for n < len(p) {
+		m, err := syscall.Write(c.fd, p[n:])
+		if m > 0 {
+			n += m
+			continue
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		c.flags |= connDead
+		if err == nil {
+			err = syscall.EIO
+		}
+		return n, err
+	}
+	if n < len(p) {
+		c.out = append(c.out, p[n:]...)
+		c.armWrite()
+		c.checkOutCap()
+	}
+	return len(p), nil
+}
+
+func (c *conn) armWrite() {
+	if c.flags&connWantWrite != 0 {
+		return
+	}
+	c.flags |= connWantWrite
+	c.updateInterest()
+}
+
+// checkOutCap pauses input when the reply backlog passes maxOutBuf.
+func (c *conn) checkOutCap() {
+	if len(c.out) > maxOutBuf && c.flags&connPaused == 0 {
+		c.flags |= connPaused
+		c.updateInterest()
+	}
+}
+
+// updateInterest reprograms epoll from the flag state: EPOLLOUT while
+// output is backed up, EPOLLIN unless input is paused.
+func (c *conn) updateInterest() {
+	var events uint32
+	if c.flags&connPaused == 0 {
+		events |= connInterest
+	} else {
+		events |= uint32(syscall.EPOLLRDHUP)
+	}
+	if c.flags&connWantWrite != 0 {
+		events |= uint32(syscall.EPOLLOUT)
+	}
+	ev := syscall.EpollEvent{Events: events, Fd: int32(c.fd)}
+	if err := syscall.EpollCtl(c.shard.epfd, syscall.EPOLL_CTL_MOD, c.fd, &ev); err != nil {
+		c.flags |= connDead
+	}
+}
+
+// writable drains the buffered output after an EPOLLOUT event.
+func (sh *connShard) writable(c *conn) {
+	written := 0
+	for written < len(c.out) {
+		n, err := syscall.Write(c.fd, c.out[written:])
+		if n > 0 {
+			written += n
+			continue
+		}
+		if err == syscall.EINTR {
+			continue
+		}
+		if err == syscall.EAGAIN {
+			break
+		}
+		c.flags |= connDead
+		break
+	}
+	c.out = append(c.out[:0], c.out[written:]...)
+	if c.flags&connDead != 0 {
+		sh.closeConn(c)
+		return
+	}
+	if len(c.out) == 0 {
+		resume := c.flags&connPaused != 0
+		c.flags &^= connWantWrite | connPaused
+		c.updateInterest()
+		if resume {
+			sh.pump(c) // input was paused; level-triggered state was dropped
+		}
+	}
+}
+
+// closeConn releases a sharded connection: epoll drops the fd when the
+// socket closes; bookkeeping mirrors the goroutine mode's defer chain.
+func (sh *connShard) closeConn(c *conn) {
+	if c.fd == 0 && c.shard == nil {
+		return
+	}
+	sh.mu.Lock()
+	delete(sh.conns, c.fd)
+	sh.mu.Unlock()
+	c.nc.Close()
+	c.srv.mu.Lock()
+	delete(c.srv.conns, c)
+	c.srv.mu.Unlock()
+	c.srv.stats.connsActive.Add(-1)
+	c.shard, c.fd = nil, 0
+	c.flags |= connDead
+}
+
+// finish is the graceful-shutdown sweep: every connection gets a final
+// non-blocking read (commands already queued in the kernel still get
+// served, like the goroutine mode draining its buffered reader), its
+// write futures settle, replies flush — blocking now, the fd's last act
+// — and the socket closes.
+func (sh *connShard) finish() {
+	sh.mu.Lock()
+	conns := make([]*conn, 0, len(sh.conns))
+	for _, c := range sh.conns {
+		conns = append(conns, c)
+	}
+	sh.mu.Unlock()
+	for _, c := range conns {
+		if c.flags&connDead != 0 {
+			sh.closeConn(c)
+			continue
+		}
+		for {
+			c.ensureInSpace()
+			n, err := syscall.Read(c.fd, c.in[len(c.in):cap(c.in)])
+			if n > 0 {
+				c.in = c.in[:len(c.in)+n]
+				continue
+			}
+			if err == syscall.EINTR {
+				continue
+			}
+			break
+		}
+		if closed := sh.parseAndDispatch(c); closed {
+			continue
+		}
+		c.drainPending()
+		c.wr.Flush()
+		// Final flush of any back-pressured bytes, blocking: the worker is
+		// exiting, there will be no EPOLLOUT to finish the job later.
+		if len(c.out) > 0 && c.flags&connDead == 0 {
+			if err := syscall.SetNonblock(c.fd, false); err == nil {
+				written := 0
+				for written < len(c.out) {
+					n, err := syscall.Write(c.fd, c.out[written:])
+					if n > 0 {
+						written += n
+						continue
+					}
+					if err != syscall.EINTR {
+						break
+					}
+				}
+			}
+		}
+		sh.closeConn(c)
+	}
+}

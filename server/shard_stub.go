@@ -1,0 +1,20 @@
+//go:build !linux
+
+package server
+
+// Conn shards need epoll; on other platforms the server always runs the
+// goroutine-per-conn mode and WithConnShards is a no-op.
+
+func defaultConnShards() int { return 0 }
+
+type shardGroup struct{}
+
+func newShardGroup(*Server, int) *shardGroup { return nil }
+
+func (*shardGroup) adopt(*conn) bool { return false }
+
+func (*shardGroup) wakeAll() {}
+
+// connShard exists so conn's event-mode fields compile; it is never
+// instantiated off Linux.
+type connShard struct{}
