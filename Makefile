@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve
+.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash
 
 all: build vet test
 
@@ -21,12 +21,21 @@ bench:
 
 # Serving perf trajectory, recorded as go test -json output: the
 # snapshot-publication families (full rebuild vs copy-on-write delta vs
-# JES dedup+delta vs grow, across n and |V*|) and the networked RESP
-# stack (pipelined vs unpipelined reads and writes over loopback TCP).
-# -benchmem records allocs/op and B/op so the zero-allocation command
-# path is tracked alongside throughput.
+# JES dedup+delta vs grow, across n and |V*|), the networked RESP stack
+# (pipelined vs unpipelined reads and writes over loopback TCP), and the
+# AOF hot path (per fsync policy). -benchmem records allocs/op and B/op
+# so the zero-allocation command and append paths are tracked alongside
+# throughput.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP' -benchmem -json ./internal/snapshot ./server > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend' -benchmem -json ./internal/snapshot ./server ./persist > BENCH_serve.json
+
+# Crash-recovery drills: the in-repo kill -9 harness (cmd/kcored's crash
+# test spawns real server processes, so it skips itself under -short) and
+# the CLI drill (loadserve -recover-check) back to back.
+crash:
+	$(GO) test -run 'TestCrashRecovery|TestGracefulRestart|TestLoadImport' -count=1 -v ./cmd/kcored
+	$(GO) build -o /tmp/kcored ./cmd/kcored
+	$(GO) run ./cmd/loadserve -recover-check -kcored /tmp/kcored -d 3s
 
 # Fuzzing smoke pass: the engine differential fuzzer (every registered
 # engine against the BZ oracle on random mixed batches) and the RESP

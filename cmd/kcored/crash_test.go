@@ -1,0 +1,354 @@
+package main
+
+// Crash-recovery harness: build the real kcored binary, run it with a
+// durability directory and -aof-fsync always, drive acked write bursts
+// over the wire, kill -9 mid-burst, and verify two things:
+//
+//  1. Recovery honesty — persist.Recover over the surviving directory
+//     yields a graph whose BZ decomposition is byte-equal to a fresh
+//     bz.Decompose of exactly the edges that were acknowledged (the
+//     in-flight tail may or may not have landed; acked writes MUST
+//     have).
+//  2. Serving honesty — a restarted kcored on the same directory
+//     serves that same decomposition over CORE.MGET and passes
+//     CORE.CHECK.
+//
+// The checkpoint-ops threshold is set low so the burst crosses at least
+// one log rotation before the kill: the crash lands on a directory with
+// real generational history, not a single pristine segment.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/persist"
+)
+
+// buildKcored compiles the kcored binary into a temp dir once per test.
+func buildKcored(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "kcored")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build kcored: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
+// startKcored launches the binary and waits until it answers PING.
+func startKcored(t *testing.T, bin, dir string, port int, extra ...string) *exec.Cmd {
+	t.Helper()
+	args := append([]string{
+		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
+		"-dir", dir,
+		"-aof-fsync", "always",
+		"-checkpoint-ops", "400",
+		"-quiet",
+	}, extra...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start kcored: %v", err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithDialTimeout(time.Second))
+		if err == nil {
+			if _, perr := c.Do("PING"); perr == nil {
+				c.Close()
+				return cmd
+			}
+			c.Close()
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("kcored on %s never came up: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func decomposeEdges(n int, edges map[graph.Edge]bool) []int32 {
+	g := graph.New(n)
+	for e := range edges {
+		g.AddEdge(e.U, e.V)
+	}
+	core, _ := bz.Decompose(g)
+	return core
+}
+
+// TestCrashRecoveryKillMidBurst is the headline durability test. Skipped
+// under -short (the -race CI job runs -short; process spawning plus
+// kill -9 timing is covered by the dedicated non-race crash job).
+func TestCrashRecoveryKillMidBurst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness spawns real processes; run without -short")
+	}
+	bin := buildKcored(t)
+	dir := filepath.Join(t.TempDir(), "data")
+	port := freePort(t)
+	proc := startKcored(t, bin, dir, port)
+	killed := false
+	defer func() {
+		if !killed {
+			proc.Process.Kill()
+			proc.Wait()
+		}
+	}()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	c, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Single-writer acked bursts: every edge whose CORE.INSERT reply
+	// arrived is recorded in acked — with -aof-fsync always these are
+	// synced to the log BEFORE the ack, so all of them must survive the
+	// kill. sent additionally holds the in-flight tail, which may or may
+	// not have landed.
+	const n = 2000
+	rng := rand.New(rand.NewSource(99))
+	acked := make(map[graph.Edge]bool)
+	sent := make(map[graph.Edge]bool)
+	randomEdge := func() graph.Edge {
+		for {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				return graph.Edge{U: u, V: v}.Norm()
+			}
+		}
+	}
+	// Acked warm-up bursts — enough ops to cross the checkpoint-ops=400
+	// threshold and force at least one mid-run log rotation.
+	for burst := 0; burst < 30; burst++ {
+		var batch []graph.Edge
+		for i := 0; i < 40; i++ {
+			e := randomEdge()
+			batch = append(batch, e)
+			sent[e] = true
+			if err := c.Send("CORE.INSERT", int64(e.U), int64(e.V)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range batch {
+			if _, err := c.Receive(); err != nil {
+				t.Fatalf("burst %d: %v", burst, err)
+			}
+			acked[e] = true
+		}
+	}
+	// The doomed burst: flushed to the socket, never awaited — the kill
+	// races the server mid-application.
+	for i := 0; i < 200; i++ {
+		e := randomEdge()
+		sent[e] = true
+		if err := c.Send("CORE.INSERT", int64(e.U), int64(e.V)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Flush()
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("kill -9: %v", err)
+	}
+	proc.Wait()
+	killed = true
+
+	// Phase 1: offline recovery over the surviving directory.
+	res, err := persist.Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover after kill -9: %v", err)
+	}
+	if res.Graph == nil {
+		t.Fatal("no recoverable state after kill -9")
+	}
+	t.Logf("recovered gen=%d n=%d m=%d tail=%d records (%d edges) torn=%d segments=%d",
+		res.Gen, res.Graph.N(), res.Graph.M(), res.TailRecords, res.TailEdges, res.TornBytes, res.Segments)
+	if res.Gen < 2 {
+		t.Errorf("gen = %d: the burst never crossed a log rotation; raise the op count", res.Gen)
+	}
+	for e := range acked {
+		if !res.Graph.HasEdge(e.U, e.V) {
+			t.Fatalf("acked edge (%d,%d) lost by the crash", e.U, e.V)
+		}
+	}
+	recovered := make(map[graph.Edge]bool)
+	for _, e := range res.Graph.Edges() {
+		ne := e.Norm()
+		if !sent[ne] {
+			t.Fatalf("recovered edge (%d,%d) was never sent", e.U, e.V)
+		}
+		recovered[ne] = true
+	}
+
+	// The recovered graph's cores must be byte-equal to a fresh
+	// decomposition of the surviving edge set.
+	wantCore := decomposeEdges(res.Graph.N(), recovered)
+	gotCore, _ := bz.Decompose(res.Graph)
+	for v := range wantCore {
+		if gotCore[v] != wantCore[v] {
+			t.Fatalf("recovered core[%d] = %d, fresh decomposition says %d", v, gotCore[v], wantCore[v])
+		}
+	}
+
+	// Phase 2: restart on the same directory and sweep the full core
+	// array over the wire.
+	proc2 := startKcored(t, bin, dir, port)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	c2, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c2.Do("CORE.CHECK"); err != nil {
+		t.Fatalf("CORE.CHECK after recovery: %v", err)
+	}
+	served := int(0)
+	if v, err := client.Int(c2.Do("CORE.N")); err != nil {
+		t.Fatal(err)
+	} else {
+		served = int(v)
+	}
+	if served != res.Graph.N() {
+		t.Fatalf("restarted N = %d, recovered N = %d", served, res.Graph.N())
+	}
+	const chunk = 512
+	for lo := 0; lo < served; lo += chunk {
+		hi := min(lo+chunk, served)
+		args := make([]any, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			args = append(args, int64(v))
+		}
+		vals, err := client.Ints(c2.Do("CORE.MGET", args...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range vals {
+			if int32(got) != wantCore[lo+i] {
+				t.Fatalf("served core[%d] = %d, want %d", lo+i, got, wantCore[lo+i])
+			}
+		}
+	}
+}
+
+// TestGracefulRestartNoTail: SIGTERM takes a final checkpoint, so the
+// next recovery replays nothing.
+func TestGracefulRestartNoTail(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; run without -short")
+	}
+	bin := buildKcored(t)
+	dir := filepath.Join(t.TempDir(), "data")
+	port := freePort(t)
+	proc := startKcored(t, bin, dir, port)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	c, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, err := client.Int(c.Do("CORE.INSERT", int64(i), int64(i+100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Wait(); err != nil {
+		t.Fatalf("kcored exit after SIGTERM: %v", err)
+	}
+	res, err := persist.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil || res.Graph.M() != 50 {
+		t.Fatalf("graceful shutdown lost state: %+v", res)
+	}
+	if res.TailRecords != 0 || res.TornBytes != 0 {
+		t.Fatalf("graceful shutdown left a log tail: %+v", res)
+	}
+}
+
+// TestLoadImportCheckpointsImmediately: -load with a fresh -dir imports
+// the edge list and checkpoints before serving; a second start with a
+// (bogus) -load must prefer the durable state.
+func TestLoadImportCheckpointsImmediately(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes; run without -short")
+	}
+	bin := buildKcored(t)
+	dir := filepath.Join(t.TempDir(), "data")
+	edgefile := filepath.Join(t.TempDir(), "edges.txt")
+	content := ""
+	for i := 0; i < 40; i++ {
+		content += fmt.Sprintf("%d %d\n", i, i+40)
+	}
+	if err := os.WriteFile(edgefile, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	port := freePort(t)
+	proc := startKcored(t, bin, dir, port, "-load", edgefile)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	c, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The import must already be durable — even a kill -9 right now
+	// keeps it.
+	proc.Process.Signal(syscall.SIGKILL)
+	proc.Wait()
+	c.Close()
+	res, err := persist.Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil || res.Graph.M() != 40 {
+		t.Fatalf("-load import not checkpointed before serving: %+v", res)
+	}
+
+	// Restart pointing -load at garbage: durable state must win.
+	proc2 := startKcored(t, bin, dir, port, "-load", filepath.Join(t.TempDir(), "missing.txt"))
+	defer func() {
+		proc2.Process.Signal(syscall.SIGTERM)
+		proc2.Wait()
+	}()
+	c2, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if m, err := client.Int(c2.Do("CORE.GET", int64(0))); err != nil || m != 1 {
+		t.Fatalf("recovered state not served (core[0]=%d, %v)", m, err)
+	}
+}

@@ -8,9 +8,18 @@
 // With -load, the initial graph is read from a whitespace edge list
 // (cmd/graphgen emits them); without it the server starts on an empty
 // universe of -n vertices (default 0) and grows on demand as CORE.INSERT
-// traffic names fresh vertex ids. SIGINT/SIGTERM shut down gracefully:
-// in-flight write futures drain and buffered replies flush before the
-// process exits.
+// traffic names fresh vertex ids.
+//
+// With -dir, the server is durable: every applied write is appended to
+// an op log in that directory (sync policy per -aof-fsync) and
+// checkpointed periodically (-checkpoint-ops / -checkpoint-bytes, or
+// CORE.BGSAVE on demand). On startup, existing state in -dir wins over
+// -load: the server recovers from the latest checkpoint plus the log
+// tail and logs a note that -load was ignored. On a fresh -dir with
+// -load, the edge list is imported and immediately checkpointed, so the
+// text parse is paid once, ever. SIGINT/SIGTERM shut down gracefully:
+// in-flight write futures drain, buffered replies flush, and (with
+// -dir) a final checkpoint lands before the process exits.
 package main
 
 import (
@@ -25,6 +34,7 @@ import (
 
 	"repro/graph"
 	"repro/kcore"
+	"repro/persist"
 	"repro/server"
 )
 
@@ -37,6 +47,10 @@ func main() {
 		n           = flag.Int("n", 0, "initial (empty) vertex universe when -load is absent")
 		load        = flag.String("load", "", "preload graph from a whitespace edge-list file")
 		connShards  = flag.Int("conn-shards", -1, "event-loop connection shards (Linux; -1 = GOMAXPROCS, 0 = goroutine per conn)")
+		dir         = flag.String("dir", "", "durability directory (AOF + checkpoints); empty = no persistence")
+		fsyncName   = flag.String("aof-fsync", "everysec", "AOF sync policy: always|everysec|no")
+		ckptOps     = flag.Int64("checkpoint-ops", 0, "checkpoint after this many logged ops (0 = default, <0 = never)")
+		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this many logged bytes (0 = default, <0 = never)")
 		quiet       = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
@@ -46,25 +60,84 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	g, err := buildGraph(*load, *n)
+	fsync, err := persist.ParseFsync(*fsyncName)
 	if err != nil {
-		log.Fatalf("kcored: %v", err)
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Recover-or-import precedence: durable state in -dir is
+	// authoritative; -load only seeds a directory that has none.
+	var (
+		g   *graph.Graph
+		mgr *persist.Manager
+	)
+	if *dir != "" {
+		start := time.Now()
+		res, err := persist.Recover(*dir)
+		if err != nil {
+			log.Fatalf("kcored: recover %s: %v", *dir, err)
+		}
+		if res.Graph != nil {
+			g = res.Graph
+			if !*quiet {
+				log.Printf("kcored: recovered gen %d from %s: n=%d m=%d, %d log records (%d edge ops) replayed across %d segment(s), %d torn bytes dropped, in %v",
+					res.Gen, *dir, g.N(), g.M(), res.TailRecords, res.TailEdges,
+					res.Segments, res.TornBytes, time.Since(start).Round(time.Millisecond))
+			}
+			if res.Truncated {
+				log.Printf("kcored: WARNING: %s has mid-log corruption; recovered the longest valid prefix", *dir)
+			}
+			if *load != "" {
+				log.Printf("kcored: -load %s ignored: %s already holds durable state (remove the directory to re-import)", *load, *dir)
+			}
+		}
+		mgr, err = persist.NewManager(*dir, persist.Options{
+			Fsync:           fsync,
+			CheckpointOps:   *ckptOps,
+			CheckpointBytes: *ckptBytes,
+		})
+		if err != nil {
+			log.Fatalf("kcored: %v", err)
+		}
+	}
+	if g == nil {
+		g, err = buildGraph(*load, *n)
+		if err != nil {
+			log.Fatalf("kcored: %v", err)
+		}
 	}
 
 	start := time.Now()
-	m := kcore.New(g,
+	opts := []kcore.Option{
 		kcore.WithAlgorithm(alg),
 		kcore.WithWorkers(*workers),
 		kcore.WithMaxVertices(*maxVertices),
-	)
+	}
+	if mgr != nil {
+		opts = append(opts, kcore.WithOpLog(mgr))
+	}
+	m := kcore.New(g, opts...)
 	defer m.Close()
+	if mgr != nil {
+		// Start's synchronous checkpoint captures the just-built state —
+		// a -load import is durable (and its text parse paid for good)
+		// before the listener opens.
+		if err := mgr.Start(m); err != nil {
+			log.Fatalf("kcored: persistence: %v", err)
+		}
+		defer mgr.Close()
+	}
 	if !*quiet {
 		log.Printf("kcored: engine %v (workers=%d), n=%d m=%d, initial decomposition in %v",
 			alg, *workers, g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 	}
 
-	srv := server.New(m, server.WithConnShards(*connShards))
+	srvOpts := []server.Option{server.WithConnShards(*connShards)}
+	if mgr != nil {
+		srvOpts = append(srvOpts, server.WithPersistence(mgr))
+	}
+	srv := server.New(m, srvOpts...)
 	// Closing the listener makes ListenAndServe return immediately, but
 	// the graceful drain (in-flight write futures, buffered replies) is
 	// still running inside Shutdown — main must wait for it before
@@ -81,6 +154,14 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx)
+		if mgr != nil {
+			// Every drained write is in the (synced-on-Close) log; the
+			// final checkpoint just makes the next recovery's replay
+			// empty.
+			if err := mgr.CheckpointNow(); err != nil {
+				log.Printf("kcored: final checkpoint: %v", err)
+			}
+		}
 	}()
 
 	if !*quiet {

@@ -51,8 +51,20 @@ func main() {
 		churn    = flag.Bool("churn", false, "add a vertex-churn writer: arrival batches on fresh ids (auto-grow) + partial removal")
 		netAddr  = flag.String("net", "", "drive a live kcored server at this address over TCP instead of an in-process maintainer (-n/-m/-alg/-workers/-churn are the server's business then)")
 		pipeline = flag.Int("pipeline", 16, "pipeline depth per network reader (-net mode)")
+		recCheck = flag.Bool("recover-check", false, "crash-recovery drill: spawn a private kcored (-kcored), drive an acked burst, kill -9 mid-burst, restart, verify served cores against a single-node oracle")
+		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check mode)")
 	)
 	flag.Parse()
+
+	if *recCheck {
+		recoverCheckRun(recoverCheckConfig{
+			kcored:   *kcored,
+			duration: *duration,
+			batch:    *batch,
+			seed:     *seed,
+		})
+		return
+	}
 
 	if *netAddr != "" {
 		netRun(netConfig{

@@ -1,0 +1,254 @@
+package main
+
+// The -recover-check mode: an end-to-end crash-recovery drill runnable
+// from the command line (the CLI twin of cmd/kcored's crash test, and
+// the `make crash` target). loadserve spawns its own kcored (-kcored
+// names the binary) on a private durability directory with
+// -aof-fsync always, drives acknowledged write bursts over TCP while
+// mirroring every acked op into a client-side oracle graph, then
+// kill -9s the server mid-burst — a flushed, never-awaited command tail
+// in flight. It recovers the directory offline (persist.Recover),
+// checks the edge-set sandwich acked ⊆ recovered ⊆ sent, restarts
+// kcored on the same directory, and sweeps the full core array over
+// CORE.MGET against a fresh single-node BZ decomposition of the
+// recovered edge set, finishing with CORE.CHECK.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/persist"
+)
+
+type recoverCheckConfig struct {
+	kcored   string // path to the kcored binary
+	duration time.Duration
+	batch    int
+	seed     int64
+}
+
+func recoverCheckRun(cfg recoverCheckConfig) {
+	if cfg.kcored == "" {
+		log.Fatalf("loadserve: -recover-check needs -kcored <path-to-binary> (build with: go build -o kcored ./cmd/kcored)")
+	}
+	tmp, err := os.MkdirTemp("", "loadserve-recover-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	dir := filepath.Join(tmp, "data")
+	port := mustFreePort()
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+
+	proc := spawnKcored(cfg.kcored, dir, addr)
+	defer func() {
+		if proc != nil {
+			proc.Process.Kill()
+			proc.Wait()
+		}
+	}()
+
+	c, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatalf("loadserve: connect: %v", err)
+	}
+
+	// Acked phase: pipelined bursts of inserts with occasional removes,
+	// every reply awaited before the op lands in the oracle mirror.
+	const n = 4000
+	rng := rand.New(rand.NewSource(cfg.seed))
+	mirror := graph.New(n)
+	batch := max(cfg.batch, 8)
+	type op struct {
+		e      graph.Edge
+		remove bool
+	}
+	deadline := time.Now().Add(cfg.duration)
+	bursts, ackedOps := 0, 0
+	for time.Now().Before(deadline) {
+		ops := make([]op, 0, batch)
+		for i := 0; i < batch; i++ {
+			if rng.Intn(8) == 0 && mirror.M() > 0 {
+				// Remove a random existing mirror edge.
+				for tries := 0; tries < 32; tries++ {
+					u := int32(rng.Intn(n))
+					if a := mirror.Adj(u); len(a) > 0 {
+						ops = append(ops, op{e: graph.Edge{U: u, V: a[rng.Intn(len(a))]}.Norm(), remove: true})
+						break
+					}
+				}
+				continue
+			}
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				ops = append(ops, op{e: graph.Edge{U: u, V: v}.Norm()})
+			}
+		}
+		for _, o := range ops {
+			cmd := "CORE.INSERT"
+			if o.remove {
+				cmd = "CORE.REMOVE"
+			}
+			if err := c.Send(cmd, int64(o.e.U), int64(o.e.V)); err != nil {
+				log.Fatalf("loadserve: send: %v", err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			log.Fatalf("loadserve: flush: %v", err)
+		}
+		for _, o := range ops {
+			if _, err := c.Receive(); err != nil {
+				log.Fatalf("loadserve: receive: %v", err)
+			}
+			if o.remove {
+				mirror.RemoveEdge(o.e.U, o.e.V)
+			} else {
+				mirror.AddEdge(o.e.U, o.e.V)
+			}
+			ackedOps++
+		}
+		bursts++
+	}
+
+	// The doomed burst: flushed to the socket, never awaited. None of
+	// these are in the mirror; any subset may have landed.
+	doomed := make(map[graph.Edge]bool)
+	for i := 0; i < 4*batch; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Norm()
+		doomed[e] = true
+		if err := c.Send("CORE.INSERT", int64(e.U), int64(e.V)); err != nil {
+			log.Fatalf("loadserve: send doomed: %v", err)
+		}
+	}
+	c.Flush()
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		log.Fatalf("loadserve: kill -9: %v", err)
+	}
+	proc.Wait()
+	proc = nil
+	c.Close()
+	fmt.Printf("killed kcored mid-burst after %d bursts (%d acked ops, %d doomed in flight)\n",
+		bursts, ackedOps, len(doomed))
+
+	// Offline recovery + edge-set sandwich.
+	res, err := persist.Recover(dir)
+	if err != nil {
+		log.Fatalf("loadserve: recover after kill -9: %v", err)
+	}
+	if res.Graph == nil {
+		log.Fatalf("loadserve: no recoverable state in %s", dir)
+	}
+	fmt.Printf("recovered gen=%d: n=%d m=%d, %d log records replayed (%d segments, %d torn bytes)\n",
+		res.Gen, res.Graph.N(), res.Graph.M(), res.TailRecords, res.Segments, res.TornBytes)
+	for v := int32(0); int(v) < mirror.N(); v++ {
+		for _, w := range mirror.Adj(v) {
+			if v < w && !res.Graph.HasEdge(v, w) {
+				log.Fatalf("loadserve: acked edge (%d,%d) lost by the crash", v, w)
+			}
+		}
+	}
+	// Everything recovered beyond the acked state must come from the
+	// doomed in-flight tail: the single connection orders the op stream,
+	// and fsync=always logs every acked op before its reply, so the log
+	// is exactly "all acked ops, then a prefix of the doomed burst".
+	for _, e := range res.Graph.Edges() {
+		ne := e.Norm()
+		if !mirror.HasEdge(ne.U, ne.V) && !doomed[ne] {
+			log.Fatalf("loadserve: recovered edge (%d,%d) matches no sent op", ne.U, ne.V)
+		}
+	}
+	wantCore, _ := bz.Decompose(res.Graph)
+
+	// Restart on the surviving directory and sweep the served cores.
+	proc = spawnKcored(cfg.kcored, dir, addr)
+	c2, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatalf("loadserve: reconnect after restart: %v", err)
+	}
+	defer c2.Close()
+	servedN, err := client.Int(c2.Do("CORE.N"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if int(servedN) != res.Graph.N() {
+		log.Fatalf("loadserve: restarted N=%d, recovered N=%d", servedN, res.Graph.N())
+	}
+	const chunk = 512
+	checked := 0
+	for lo := 0; lo < int(servedN); lo += chunk {
+		hi := min(lo+chunk, int(servedN))
+		args := make([]any, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			args = append(args, int64(v))
+		}
+		vals, err := client.Ints(c2.Do("CORE.MGET", args...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, got := range vals {
+			if int32(got) != wantCore[lo+i] {
+				log.Fatalf("loadserve: served core[%d]=%d, oracle says %d", lo+i, got, wantCore[lo+i])
+			}
+			checked++
+		}
+	}
+	if s, err := client.String(c2.Do("CORE.CHECK")); err != nil || s != "OK" {
+		log.Fatalf("loadserve: CORE.CHECK after recovery = %q, %v", s, err)
+	}
+	fmt.Printf("restart: all %d served core numbers match the single-node oracle; CORE.CHECK ok\n", checked)
+	fmt.Println("recover-check: PASS")
+}
+
+func spawnKcored(bin, dir, addr string) *exec.Cmd {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-dir", dir,
+		"-aof-fsync", "always",
+		"-checkpoint-ops", "500",
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("loadserve: start %s: %v", bin, err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithDialTimeout(time.Second))
+		if err == nil {
+			_, perr := c.Do("PING")
+			c.Close()
+			if perr == nil {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			log.Fatalf("loadserve: kcored on %s never came up", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func mustFreePort() int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}

@@ -102,6 +102,27 @@ type config struct {
 	alg     Algorithm
 	workers int
 	maxN    int
+	oplog   OpLog
+}
+
+// OpLog receives the canonical op stream of a Maintainer — the hook the
+// durability subsystem (package persist) taps. Every method is called at
+// a quiescent point by the goroutine applying the batch (the pipeline's
+// applier, or a mu-serialized caller after Close), so implementations
+// need no internal ordering logic; calls arrive in exactly the order the
+// engine applies ops.
+//
+// AppendBatch is called once per coalesced engine batch, after the
+// universe scan (ops are post-filter canonical: malformed and
+// beyond-ceiling ids already dropped, removals of unseen vertices already
+// dropped) and BEFORE the batch is applied or any caller future
+// completes — a durable OpLog that syncs in AppendBatch therefore makes
+// every acknowledged write crash-safe. AppendGrow is called for explicit
+// AddVertices growth (implicit growth is derivable from insert
+// endpoints, so it is not logged separately).
+type OpLog interface {
+	AppendBatch(removes, inserts []graph.Edge)
+	AppendGrow(n int)
 }
 
 // DefaultMaxVertices is the default auto-growth ceiling (~16.7M
@@ -127,6 +148,11 @@ func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
 // the construction graph's N when that is larger, and AddVertices
 // clamps to it too.
 func WithMaxVertices(n int) Option { return func(c *config) { c.maxN = n } }
+
+// WithOpLog attaches an op-stream hook (see OpLog). Pass the durability
+// subsystem's manager here to make the maintainer's write path
+// persistent; nil (the default) logs nothing.
+func WithOpLog(l OpLog) Option { return func(c *config) { c.oplog = l } }
 
 // BatchResult reports the outcome of one batch. When the pipeline folds
 // several concurrent caller ops into one engine batch, every caller
@@ -310,6 +336,34 @@ func (m *Maintainer) Flush() uint64 {
 	return m.Epoch()
 }
 
+// QuiescentState is the consistent view of the maintainer handed to an
+// AtQuiescence callback: no batch is in flight, so the graph, the
+// materialized cores, and the snapshot epoch all describe the same
+// moment. Valid only for the duration of the callback.
+type QuiescentState struct{ eng *engine }
+
+// Graph returns the live graph; read-only, callback-scoped.
+func (q QuiescentState) Graph() *graph.Graph { return q.eng.g }
+
+// Cores materializes the current core numbers into a fresh slice (O(n)).
+func (q QuiescentState) Cores() []int32 { return q.eng.impl.Cores() }
+
+// Epoch returns the current snapshot epoch.
+func (q QuiescentState) Epoch() uint64 { return q.eng.view().Epoch }
+
+// N returns the current vertex count.
+func (q QuiescentState) N() int { return q.eng.g.N() }
+
+// AtQuiescence runs fn at a quiescent point ordered after every update
+// enqueued before the call: no batch in flight, graph and cores mutually
+// consistent. It is how the durability subsystem captures checkpoint
+// state and rotates its log atomically with respect to the op stream. fn
+// must not call Maintainer update methods (the applier would deadlock
+// waiting on itself) and must not retain the QuiescentState.
+func (m *Maintainer) AtQuiescence(fn func(QuiescentState)) {
+	m.barrier(func() { fn(QuiescentState{m.eng}) })
+}
+
 // barrier runs fn inside the applier at a quiescent point ordered after
 // every previously enqueued op. fn must not call Maintainer update
 // methods (the applier would deadlock waiting on itself).
@@ -427,6 +481,9 @@ func (m *Maintainer) AddVertices(k int) int {
 			}
 			if target > m.eng.g.N() {
 				m.eng.impl.Grow(target)
+				if lg := m.eng.cfg.oplog; lg != nil {
+					lg.AppendGrow(target)
+				}
 			}
 		}
 		n = m.eng.g.N()
@@ -471,6 +528,16 @@ func (eng *engine) publishAfter(res *BatchResult) {
 }
 
 func (eng *engine) check() error { return eng.impl.Check() }
+
+// logBatch hands one canonical post-scan batch to the attached OpLog,
+// before the engine applies it (write-ahead: a durable log that syncs
+// here makes acknowledged writes crash-safe — no future completes until
+// after the append returns).
+func (eng *engine) logBatch(removes, inserts []graph.Edge) {
+	if lg := eng.cfg.oplog; lg != nil && (len(removes) > 0 || len(inserts) > 0) {
+		lg.AppendBatch(removes, inserts)
+	}
+}
 
 // prepareBatch is the quiescent-point universe scan run before every
 // engine round; it makes updates naming unseen vertex ids Just Work.
@@ -553,9 +620,11 @@ func (eng *engine) applyDirect(op *updateOp) BatchResult {
 	switch op.kind {
 	case opInsert:
 		_, inserts := eng.prepareBatch(nil, op.edges)
+		eng.logBatch(nil, inserts)
 		eng.insertBatch(inserts, &res)
 	case opRemove:
 		removes, _ := eng.prepareBatch(op.edges, nil)
+		eng.logBatch(removes, nil)
 		eng.removeBatch(removes, &res)
 	case opBarrier:
 		if op.fn != nil {

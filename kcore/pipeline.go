@@ -199,6 +199,7 @@ func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	removes, inserts, canceled := coalesce(seg)
 	start := time.Now()
 	removes, inserts = eng.prepareBatch(removes, inserts)
+	eng.logBatch(removes, inserts)
 	var res BatchResult
 	if len(removes) > 0 {
 		eng.removeBatch(removes, &res)

@@ -1,0 +1,350 @@
+package persist
+
+// On-disk formats, little-endian throughout. Three file kinds live in a
+// durability directory, all named by generation:
+//
+//	MANIFEST                 points at the current generation (atomic
+//	                         tmp+rename update; 20 bytes, CRC-framed)
+//	checkpoint-%06d.ckpt     full state at the instant generation G began:
+//	                         header, core array, graph binary CSR
+//	                         (graph.WriteBinary), trailing CRC-32C over
+//	                         the whole file
+//	aof-%06d.log             append-only op log of everything after that
+//	                         instant: a 16-byte header, then
+//	                         length-prefixed CRC-framed records
+//
+// AOF record: u32 payloadLen, u32 crc32c(payload), payload. The payload
+// is one op: kind byte (insert batch / remove batch / grow), then a u32
+// edge count and count (i32,i32) pairs, or a u64 vertex count for grow.
+// Huge batches are chunked into records of at most maxEdgesPerRecord
+// edges, so recovery never trusts a length prefix larger than
+// maxRecordPayload before its CRC is verified.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/graph"
+)
+
+const (
+	aofMagic      = 0x4b414f46 // "KAOF"
+	ckptMagic     = 0x4b434b50 // "KCKP"
+	maniMagic     = 0x4b4d4e46 // "KMNF"
+	formatVersion = 1
+
+	recInsert byte = 1
+	recRemove byte = 2
+	recGrow   byte = 3
+
+	aofHeaderSize = 16 // magic u32, version u32, gen u64
+	recHeaderSize = 8  // payload len u32, crc32c u32
+
+	// maxEdgesPerRecord chunks one coalesced batch into bounded records;
+	// maxRecordPayload is the largest length prefix recovery will
+	// allocate for before the CRC has had a chance to vouch for it.
+	maxEdgesPerRecord = 1 << 20
+	maxRecordPayload  = 5 + 8*maxEdgesPerRecord
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+func manifestPath(dir string) string { return filepath.Join(dir, "MANIFEST") }
+
+func checkpointPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("checkpoint-%06d.ckpt", gen))
+}
+
+func segmentPath(dir string, gen uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("aof-%06d.log", gen))
+}
+
+// --- AOF record encoding ----------------------------------------------------
+
+// ensureCap grows b (append-style) until it has room for n more bytes.
+func ensureCap(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b
+	}
+	nb := make([]byte, len(b), len(b)+n)
+	copy(nb, b)
+	return nb
+}
+
+// appendEdgeRecord appends one framed insert/remove record to dst.
+// len(edges) must be <= maxEdgesPerRecord (callers chunk).
+func appendEdgeRecord(dst []byte, kind byte, edges []graph.Edge) []byte {
+	payloadLen := 5 + 8*len(edges)
+	dst = ensureCap(dst, recHeaderSize+payloadLen)
+	hdr := len(dst)
+	dst = dst[:hdr+recHeaderSize+payloadLen]
+	p := dst[hdr+recHeaderSize:]
+	p[0] = kind
+	binary.LittleEndian.PutUint32(p[1:], uint32(len(edges)))
+	o := 5
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(p[o:], uint32(e.U))
+		binary.LittleEndian.PutUint32(p[o+4:], uint32(e.V))
+		o += 8
+	}
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], crc32.Checksum(p, crcTable))
+	return dst
+}
+
+// appendGrowRecord appends one framed grow record to dst.
+func appendGrowRecord(dst []byte, n int) []byte {
+	const payloadLen = 9
+	dst = ensureCap(dst, recHeaderSize+payloadLen)
+	hdr := len(dst)
+	dst = dst[:hdr+recHeaderSize+payloadLen]
+	p := dst[hdr+recHeaderSize:]
+	p[0] = recGrow
+	binary.LittleEndian.PutUint64(p[1:], uint64(n))
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], crc32.Checksum(p, crcTable))
+	return dst
+}
+
+// appendSegmentHeader appends the 16-byte AOF file header to dst.
+func appendSegmentHeader(dst []byte, gen uint64) []byte {
+	dst = ensureCap(dst, aofHeaderSize)
+	h := len(dst)
+	dst = dst[:h+aofHeaderSize]
+	binary.LittleEndian.PutUint32(dst[h:], aofMagic)
+	binary.LittleEndian.PutUint32(dst[h+4:], formatVersion)
+	binary.LittleEndian.PutUint64(dst[h+8:], gen)
+	return dst
+}
+
+// --- checkpoint files -------------------------------------------------------
+
+const ckptHeaderSize = 40 // magic u32, version u32, gen u64, epoch u64, n u64, m u64
+
+// writeCheckpointFile writes a checkpoint atomically: tmp file, fsync,
+// rename, directory fsync. graphBin is the pre-encoded graph.WriteBinary
+// blob (captured at quiescence); cores the matching core array.
+func writeCheckpointFile(dir string, gen, epoch uint64, m int64, cores []int32, graphBin []byte) error {
+	path := checkpointPath(dir, gen)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	crc := uint32(0)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	emit := func(p []byte) {
+		crc = crc32.Update(crc, crcTable, p)
+		bw.Write(p)
+	}
+	var hdr [ckptHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], formatVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], gen)
+	binary.LittleEndian.PutUint64(hdr[16:], epoch)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(cores)))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(m))
+	emit(hdr[:])
+	var chunk [64 << 10]byte
+	k := 0
+	for _, c := range cores {
+		if k+4 > len(chunk) {
+			emit(chunk[:k])
+			k = 0
+		}
+		binary.LittleEndian.PutUint32(chunk[k:], uint32(c))
+		k += 4
+	}
+	if k > 0 {
+		emit(chunk[:k])
+	}
+	emit(graphBin)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+	bw.Write(tail[:])
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCheckpointFile loads and verifies a checkpoint. The whole file is
+// read into memory (a checkpoint is a few bytes per vertex/edge) so the
+// trailing CRC covers exactly what is parsed.
+func readCheckpointFile(path string) (g *graph.Graph, cores []int32, epoch uint64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if len(data) < ckptHeaderSize+4 {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: truncated (%d bytes)", path, len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: CRC mismatch", path)
+	}
+	if m := binary.LittleEndian.Uint32(body[0:]); m != ckptMagic {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: bad magic %#x", path, m)
+	}
+	if v := binary.LittleEndian.Uint32(body[4:]); v != formatVersion {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: unsupported version %d", path, v)
+	}
+	epoch = binary.LittleEndian.Uint64(body[16:])
+	n := binary.LittleEndian.Uint64(body[24:])
+	if n > math.MaxInt32 {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: implausible n=%d", path, n)
+	}
+	if uint64(len(body)-ckptHeaderSize) < 4*n {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: short core array", path)
+	}
+	cores = make([]int32, n)
+	for i := range cores {
+		cores[i] = int32(binary.LittleEndian.Uint32(body[ckptHeaderSize+4*i:]))
+	}
+	g, err = graph.ReadBinary(bytes.NewReader(body[ckptHeaderSize+4*int(n):]))
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: %w", path, err)
+	}
+	if g.N() != int(n) {
+		return nil, nil, 0, fmt.Errorf("persist: checkpoint %s: graph n=%d != core array n=%d", path, g.N(), n)
+	}
+	return g, cores, epoch, nil
+}
+
+// --- manifest ---------------------------------------------------------------
+
+// writeManifest atomically points the directory at generation gen.
+func writeManifest(dir string, gen uint64) error {
+	var b [20]byte
+	binary.LittleEndian.PutUint32(b[0:], maniMagic)
+	binary.LittleEndian.PutUint32(b[4:], formatVersion)
+	binary.LittleEndian.PutUint64(b[8:], gen)
+	binary.LittleEndian.PutUint32(b[16:], crc32.Checksum(b[:16], crcTable))
+	tmp := manifestPath(dir) + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b[:]); err == nil {
+		err = f.Sync()
+	} else {
+		f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, manifestPath(dir)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest returns the current generation; ok=false when no manifest
+// exists (a fresh or never-checkpointed directory).
+func readManifest(dir string) (gen uint64, ok bool, err error) {
+	data, err := os.ReadFile(manifestPath(dir))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, err
+	}
+	if len(data) != 20 {
+		return 0, false, fmt.Errorf("persist: manifest: bad size %d", len(data))
+	}
+	if got, want := crc32.Checksum(data[:16], crcTable), binary.LittleEndian.Uint32(data[16:]); got != want {
+		return 0, false, fmt.Errorf("persist: manifest: CRC mismatch")
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != maniMagic {
+		return 0, false, fmt.Errorf("persist: manifest: bad magic %#x", m)
+	}
+	return binary.LittleEndian.Uint64(data[8:]), true, nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file's directory entry is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// scanMaxGen returns the largest generation named by any file in dir
+// (manifest included), or 0. A corrupt manifest does not block starting
+// over — only the files count then.
+func scanMaxGen(dir string) (uint64, error) {
+	var maxGen uint64
+	if g, ok, err := readManifest(dir); err == nil && ok {
+		maxGen = g
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		var g uint64
+		if n, _ := fmt.Sscanf(e.Name(), "aof-%d.log", &g); n == 1 && g > maxGen {
+			maxGen = g
+		}
+		if n, _ := fmt.Sscanf(e.Name(), "checkpoint-%d.ckpt", &g); n == 1 && g > maxGen {
+			maxGen = g
+		}
+	}
+	return maxGen, nil
+}
+
+// removeStaleGenerations deletes checkpoint and segment files of
+// generations strictly below keep, plus abandoned tmp files.
+func removeStaleGenerations(dir string, keep uint64) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if filepath.Ext(name) == ".tmp" {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		var g uint64
+		if n, _ := fmt.Sscanf(name, "aof-%d.log", &g); n == 1 && g < keep {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if n, _ := fmt.Sscanf(name, "checkpoint-%d.ckpt", &g); n == 1 && g < keep {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

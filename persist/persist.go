@@ -1,0 +1,553 @@
+// Package persist is the durability subsystem of the serving layer: a
+// Redis-style append-only op log (AOF) plus periodic checkpoint
+// snapshots, so a kcored restart recovers the maintained graph in one
+// binary read and a short log replay instead of minutes of
+// re-decomposition.
+//
+// The design taps the one quiescent point the pipeline already has: the
+// Manager implements kcore.OpLog, so the applier hands it every
+// coalesced batch's canonical post-scan ops (in applied order, before
+// any caller future completes). With FsyncAlways the append is synced
+// before it returns — every acknowledged write is crash-safe. Periodic
+// checkpoints (a generation: graph binary CSR + core array + epoch)
+// capture full state at a quiescent point and rotate the log, which is
+// also the AOF rewrite/compaction mechanism: the old generation's log is
+// deleted once the new checkpoint is durable, so the log never dwarfs
+// the graph by more than one checkpoint interval.
+//
+// Recovery (see Recover) loads the manifest's checkpoint and replays the
+// log tail at graph level, tolerating a torn or truncated final record;
+// the recovered graph then seeds an ordinary kcore.New, whose one BZ
+// decomposition is the only recomputation paid.
+//
+// Wiring order matters (chicken-and-egg between Manager and Maintainer):
+//
+//	res, _ := persist.Recover(dir)           // nil Graph when dir is fresh
+//	mgr, _ := persist.NewManager(dir, opts)
+//	m := kcore.New(g, kcore.WithOpLog(mgr))  // g = res.Graph or a fresh build
+//	mgr.Start(m)                             // initial checkpoint, log opens
+//	defer mgr.Close()
+//
+// Start takes a synchronous checkpoint of the maintainer's current state
+// (this is what makes `kcored -load -dir` import-then-checkpoint work),
+// so ops applied before Start need no log: the checkpoint covers them.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graph"
+	"repro/kcore"
+)
+
+// Fsync is the AOF sync policy.
+type Fsync int
+
+const (
+	// FsyncAlways syncs after every appended batch, before the append
+	// returns — no acknowledged write is ever lost. The cost is one
+	// fsync per coalesced engine batch (not per command: pipelined
+	// bursts share it).
+	FsyncAlways Fsync = iota
+	// FsyncEverySec syncs once per second from a background goroutine —
+	// a crash loses at most the last second of writes.
+	FsyncEverySec
+	// FsyncNo never syncs explicitly; the OS flushes on its own
+	// schedule. Fastest, weakest.
+	FsyncNo
+)
+
+// String returns the policy's flag spelling (always/everysec/no).
+func (f Fsync) String() string {
+	switch f {
+	case FsyncAlways:
+		return "always"
+	case FsyncEverySec:
+		return "everysec"
+	case FsyncNo:
+		return "no"
+	}
+	return fmt.Sprintf("Fsync(%d)", int(f))
+}
+
+// ParseFsync parses a -aof-fsync flag value.
+func ParseFsync(s string) (Fsync, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "everysec":
+		return FsyncEverySec, nil
+	case "no":
+		return FsyncNo, nil
+	}
+	return 0, fmt.Errorf("persist: unknown fsync policy %q (want always|everysec|no)", s)
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Fsync is the AOF sync policy; default FsyncEverySec.
+	Fsync Fsync
+	// CheckpointOps triggers a background checkpoint (and log rotation)
+	// once this many edge ops have been appended since the last one.
+	// 0 picks the default (200k); negative disables the ops threshold.
+	CheckpointOps int64
+	// CheckpointBytes is the same threshold in appended log bytes.
+	// 0 picks the default (256 MiB); negative disables it.
+	CheckpointBytes int64
+	// Logger receives recovery/checkpoint/error lines; nil uses the
+	// standard logger.
+	Logger *log.Logger
+}
+
+const (
+	defaultCheckpointOps   = 200_000
+	defaultCheckpointBytes = 256 << 20
+)
+
+// Stats is a point-in-time view of the durability subsystem, surfaced
+// over the wire in CORE.STATS.
+type Stats struct {
+	Gen                uint64        // current generation
+	Records            int64         // AOF records appended (lifetime)
+	AppendedBytes      int64         // AOF bytes appended (lifetime)
+	OpsSinceCheckpoint int64         // edge ops logged since the last rotation
+	Checkpoints        int64         // checkpoints completed (initial included)
+	LastSave           time.Time     // completion time of the last checkpoint
+	LastSaveDuration   time.Duration // wall time of the last checkpoint
+	Fsync              Fsync
+	Err                string // sticky append/checkpoint error ("" = healthy)
+}
+
+// Manager owns one durability directory: the open AOF segment, the
+// checkpoint worker, and the fsync policy. It implements kcore.OpLog;
+// attach it with kcore.WithOpLog and activate it with Start. All methods
+// are safe for concurrent use.
+type Manager struct {
+	dir  string
+	opts Options
+
+	m *kcore.Maintainer // set by Start
+
+	// mu guards the append path: the open segment, the encode scratch,
+	// the since-rotation counters, and the sticky error.
+	mu         sync.Mutex
+	f          *os.File
+	gen        uint64
+	buf        []byte
+	dirty      bool // unsynced appends (FsyncEverySec)
+	opsSince   int64
+	bytesSince int64
+	err        error
+
+	// ckptMu serializes checkpoints (threshold-triggered, BGSave,
+	// CheckpointNow, Start's initial one).
+	ckptMu  sync.Mutex
+	ckptBuf []byte // graph-encode scratch reused across checkpoints
+
+	ckptReq chan struct{}
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	closed  atomic.Bool
+
+	records       atomic.Int64
+	appendedBytes atomic.Int64
+	checkpoints   atomic.Int64
+	lastSaveUnix  atomic.Int64
+	lastSaveDur   atomic.Int64
+	errStr        atomic.Pointer[string]
+}
+
+// NewManager prepares a Manager over dir (created if absent). No files
+// are written until Start.
+func NewManager(dir string, opts Options) (*Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if opts.CheckpointOps == 0 {
+		opts.CheckpointOps = defaultCheckpointOps
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = defaultCheckpointBytes
+	}
+	return &Manager{
+		dir:     dir,
+		opts:    opts,
+		ckptReq: make(chan struct{}, 1),
+		quit:    make(chan struct{}),
+	}, nil
+}
+
+// Start activates durability for m: it takes a synchronous checkpoint of
+// m's current state (a fresh generation strictly above anything already
+// in the directory), opens the new AOF segment, and starts the
+// background checkpoint/fsync worker. Returns once the checkpoint and
+// manifest are durable — from that point on, every acknowledged write
+// survives a crash (modulo the fsync policy's window).
+func (p *Manager) Start(m *kcore.Maintainer) error {
+	if p.m != nil {
+		return errors.New("persist: Start called twice")
+	}
+	p.m = m
+	maxGen, err := scanMaxGen(p.dir)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.gen = maxGen // the initial checkpoint rotates to maxGen+1
+	p.mu.Unlock()
+	if err := p.CheckpointNow(); err != nil {
+		return err
+	}
+	p.wg.Add(1)
+	go p.loop()
+	return nil
+}
+
+// Close stops the worker and syncs and closes the AOF segment. It does
+// not take a final checkpoint — call CheckpointNow first for that (as
+// kcored's graceful shutdown does); the synced log alone already
+// guarantees complete recovery.
+func (p *Manager) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	if p.started.Load() {
+		close(p.quit)
+		p.wg.Wait()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var err error
+	if p.f != nil {
+		err = p.f.Sync()
+		if cerr := p.f.Close(); err == nil {
+			err = cerr
+		}
+		p.f = nil
+	}
+	return err
+}
+
+// --- kcore.OpLog ------------------------------------------------------------
+
+// AppendBatch logs one coalesced batch's canonical ops. Called by the
+// maintainer's applier at the quiescent point, before the batch applies
+// and before any caller future completes.
+func (p *Manager) AppendBatch(removes, inserts []graph.Edge) {
+	ops := int64(len(removes) + len(inserts))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil || p.err != nil {
+		return
+	}
+	for len(removes) > 0 {
+		n := min(len(removes), maxEdgesPerRecord)
+		p.buf = appendEdgeRecord(p.buf[:0], recRemove, removes[:n])
+		removes = removes[n:]
+		if !p.writeLocked() {
+			return
+		}
+	}
+	for len(inserts) > 0 {
+		n := min(len(inserts), maxEdgesPerRecord)
+		p.buf = appendEdgeRecord(p.buf[:0], recInsert, inserts[:n])
+		inserts = inserts[n:]
+		if !p.writeLocked() {
+			return
+		}
+	}
+	p.finishAppendLocked(ops)
+}
+
+// AppendGrow logs an explicit AddVertices growth to n vertices.
+func (p *Manager) AppendGrow(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.f == nil || p.err != nil {
+		return
+	}
+	p.buf = appendGrowRecord(p.buf[:0], n)
+	if !p.writeLocked() {
+		return
+	}
+	p.finishAppendLocked(1)
+}
+
+// writeLocked writes the encoded record(s) in p.buf to the segment,
+// recording a sticky error on failure. Returns false once persistence is
+// broken.
+func (p *Manager) writeLocked() bool {
+	if _, err := p.f.Write(p.buf); err != nil {
+		p.failLocked(fmt.Errorf("persist: append: %w", err))
+		return false
+	}
+	p.records.Add(1)
+	p.appendedBytes.Add(int64(len(p.buf)))
+	p.bytesSince += int64(len(p.buf))
+	return true
+}
+
+// finishAppendLocked applies the fsync policy and arms the checkpoint
+// thresholds after a successful append.
+func (p *Manager) finishAppendLocked(ops int64) {
+	p.opsSince += ops
+	switch p.opts.Fsync {
+	case FsyncAlways:
+		if err := p.f.Sync(); err != nil {
+			p.failLocked(fmt.Errorf("persist: fsync: %w", err))
+			return
+		}
+	case FsyncEverySec:
+		p.dirty = true
+	}
+	if (p.opts.CheckpointOps > 0 && p.opsSince >= p.opts.CheckpointOps) ||
+		(p.opts.CheckpointBytes > 0 && p.bytesSince >= p.opts.CheckpointBytes) {
+		select {
+		case p.ckptReq <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// failLocked records the first persistence error; the log is abandoned
+// (further appends are dropped) but serving continues — the operator
+// sees persist_err in CORE.STATS and this one loud log line.
+func (p *Manager) failLocked(err error) {
+	if p.err != nil {
+		return
+	}
+	p.err = err
+	s := err.Error()
+	p.errStr.Store(&s)
+	p.logf("persist: DISABLED after error: %v", err)
+}
+
+// --- checkpoints ------------------------------------------------------------
+
+// CheckpointNow takes a checkpoint synchronously: captures state and
+// rotates the AOF at a quiescent point, writes the checkpoint file,
+// updates the manifest, and deletes the previous generation. Safe to
+// call concurrently with serving traffic; concurrent checkpoints
+// serialize.
+func (p *Manager) CheckpointNow() error {
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
+	if p.m == nil {
+		return errors.New("persist: not started")
+	}
+	start := time.Now()
+	var (
+		gen      uint64
+		epoch    uint64
+		m        int64
+		cores    []int32
+		graphBin []byte
+		rotErr   error
+	)
+	p.m.AtQuiescence(func(q kcore.QuiescentState) {
+		// Quiescent phase: capture state to memory and switch the op
+		// stream to the next generation's segment, atomically with
+		// respect to appends (which run on this same goroutine).
+		epoch = q.Epoch()
+		cores = q.Cores()
+		g := q.Graph()
+		m = g.M()
+		w := newSliceWriter(p.ckptBuf[:0])
+		if err := g.WriteBinary(w); err != nil {
+			rotErr = err
+			return
+		}
+		p.ckptBuf = w.b
+		graphBin = w.b
+		gen, rotErr = p.rotateSegment()
+	})
+	if rotErr != nil {
+		p.mu.Lock()
+		p.failLocked(fmt.Errorf("persist: checkpoint rotate: %w", rotErr))
+		p.mu.Unlock()
+		return rotErr
+	}
+	if err := writeCheckpointFile(p.dir, gen, epoch, m, cores, graphBin); err != nil {
+		p.mu.Lock()
+		p.failLocked(fmt.Errorf("persist: checkpoint write: %w", err))
+		p.mu.Unlock()
+		return err
+	}
+	if err := writeManifest(p.dir, gen); err != nil {
+		p.mu.Lock()
+		p.failLocked(fmt.Errorf("persist: manifest: %w", err))
+		p.mu.Unlock()
+		return err
+	}
+	removeStaleGenerations(p.dir, gen)
+	p.checkpoints.Add(1)
+	p.lastSaveUnix.Store(time.Now().Unix())
+	p.lastSaveDur.Store(int64(time.Since(start)))
+	p.logf("persist: checkpoint gen %d: n=%d m=%d epoch=%d in %v",
+		gen, len(cores), m, epoch, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// rotateSegment syncs and closes the current segment and opens the next
+// generation's, at the quiescent point. From here on appends land in the
+// new generation, whose checkpoint is about to be written; until the
+// manifest flips, recovery replays the old checkpoint plus both
+// segments, so no window loses ops.
+func (p *Manager) rotateSegment() (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.err != nil {
+		return 0, p.err
+	}
+	if p.f != nil {
+		// The old segment gets one final sync whatever the policy:
+		// recovery tolerates a torn tail only in the newest segment.
+		if err := p.f.Sync(); err != nil {
+			return 0, err
+		}
+		if err := p.f.Close(); err != nil {
+			return 0, err
+		}
+		p.f = nil
+	}
+	gen := p.gen + 1
+	f, err := os.OpenFile(segmentPath(p.dir, gen), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	p.buf = appendSegmentHeader(p.buf[:0], gen)
+	if _, err := f.Write(p.buf); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	p.f = f
+	p.gen = gen
+	p.opsSince = 0
+	p.bytesSince = 0
+	p.dirty = false
+	p.started.Store(true)
+	return gen, nil
+}
+
+// BGSave requests an asynchronous checkpoint (the CORE.BGSAVE handler).
+// Returns immediately; a checkpoint already in flight absorbs the
+// request.
+func (p *Manager) BGSave() error {
+	if !p.started.Load() {
+		return errors.New("persist: not started")
+	}
+	if err := p.Err(); err != nil {
+		return err
+	}
+	select {
+	case p.ckptReq <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// LastSave returns the completion time of the last checkpoint (zero time
+// before the first).
+func (p *Manager) LastSave() time.Time {
+	u := p.lastSaveUnix.Load()
+	if u == 0 {
+		return time.Time{}
+	}
+	return time.Unix(u, 0)
+}
+
+// Err returns the sticky persistence error, nil while healthy.
+func (p *Manager) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats returns the durability counters.
+func (p *Manager) Stats() Stats {
+	p.mu.Lock()
+	gen, opsSince := p.gen, p.opsSince
+	p.mu.Unlock()
+	s := Stats{
+		Gen:                gen,
+		Records:            p.records.Load(),
+		AppendedBytes:      p.appendedBytes.Load(),
+		OpsSinceCheckpoint: opsSince,
+		Checkpoints:        p.checkpoints.Load(),
+		LastSave:           p.LastSave(),
+		LastSaveDuration:   time.Duration(p.lastSaveDur.Load()),
+		Fsync:              p.opts.Fsync,
+	}
+	if e := p.errStr.Load(); e != nil {
+		s.Err = *e
+	}
+	return s
+}
+
+// loop is the background worker: checkpoint requests plus the everysec
+// fsync tick.
+func (p *Manager) loop() {
+	defer p.wg.Done()
+	var tick <-chan time.Time
+	if p.opts.Fsync == FsyncEverySec {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		tick = t.C
+	}
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.ckptReq:
+			if err := p.CheckpointNow(); err != nil {
+				p.logf("persist: background checkpoint: %v", err)
+			}
+		case <-tick:
+			p.syncIfDirty()
+		}
+	}
+}
+
+func (p *Manager) syncIfDirty() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.dirty || p.f == nil || p.err != nil {
+		return
+	}
+	if err := p.f.Sync(); err != nil {
+		p.failLocked(fmt.Errorf("persist: fsync: %w", err))
+		return
+	}
+	p.dirty = false
+}
+
+func (p *Manager) logf(format string, args ...any) {
+	if p.opts.Logger != nil {
+		p.opts.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// sliceWriter is an io.Writer over a reusable byte slice (bytes.Buffer
+// without the ownership dance: the backing array is handed back for
+// reuse across checkpoints).
+type sliceWriter struct{ b []byte }
+
+func newSliceWriter(b []byte) *sliceWriter { return &sliceWriter{b} }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

@@ -1,0 +1,497 @@
+package persist
+
+import (
+	"encoding/binary"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/kcore"
+)
+
+func testLogger(t *testing.T) *log.Logger {
+	return log.New(testWriter{t}, "", 0)
+}
+
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", p)
+	return len(p), nil
+}
+
+// startManaged builds a maintainer over g with a fresh Manager on dir.
+func startManaged(t *testing.T, dir string, g *graph.Graph, opts Options) (*kcore.Maintainer, *Manager) {
+	t.Helper()
+	if opts.Logger == nil {
+		opts.Logger = testLogger(t)
+	}
+	mgr, err := NewManager(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kcore.New(g, kcore.WithOpLog(mgr), kcore.WithWorkers(2))
+	if err := mgr.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	return m, mgr
+}
+
+func assertRecoverMatches(t *testing.T, dir string, want *graph.Graph) *Result {
+	t.Helper()
+	res, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph == nil {
+		t.Fatal("Recover returned nil graph")
+	}
+	if res.Graph.N() != want.N() || res.Graph.M() != want.M() {
+		t.Fatalf("recovered n=%d m=%d, want n=%d m=%d",
+			res.Graph.N(), res.Graph.M(), want.N(), want.M())
+	}
+	wc, _ := bz.Decompose(want)
+	gc, _ := bz.Decompose(res.Graph)
+	for v := range wc {
+		if gc[v] != wc[v] {
+			t.Fatalf("recovered core[%d] = %d, want %d", v, gc[v], wc[v])
+		}
+	}
+	for v := int32(0); int(v) < want.N(); v++ {
+		for _, w := range want.Adj(v) {
+			if !res.Graph.HasEdge(v, w) {
+				t.Fatalf("recovered graph missing edge (%d,%d)", v, w)
+			}
+		}
+	}
+	return res
+}
+
+// TestRecoverFreshDir: an empty or absent directory recovers to nothing.
+func TestRecoverFreshDir(t *testing.T) {
+	res, err := Recover(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph != nil {
+		t.Fatal("fresh dir recovered a graph")
+	}
+	if _, err := Recover(filepath.Join(t.TempDir(), "missing")); err == nil {
+		// A missing dir has no manifest: also fine (empty Result) — but
+		// readManifest returns IsNotExist → ok=false, so no error.
+	} else {
+		t.Fatalf("missing dir: %v", err)
+	}
+}
+
+// TestCheckpointOnlyRecovery: Start's initial checkpoint alone (no log
+// records) recovers the full base graph.
+func TestCheckpointOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := gen.ErdosRenyi(500, 2000, 9)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncAlways})
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := assertRecoverMatches(t, dir, base)
+	if res.TailRecords != 0 || res.TornBytes != 0 || res.Segments != 1 {
+		t.Fatalf("unexpected tail: %+v", res)
+	}
+}
+
+// TestLogReplayRecovery drives mixed updates (inserts, removes, growth,
+// implicit growth) with fsync=always and verifies checkpoint+tail
+// recovery matches the live graph exactly.
+func TestLogReplayRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const n = 400
+	base := gen.ErdosRenyi(n, 3*n, 21)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncAlways})
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			u := int32(rng.Intn(m.N()))
+			if a := m.Graph().Adj(u); len(a) > 0 {
+				m.RemoveEdge(u, a[rng.Intn(len(a))])
+			}
+		case 1:
+			m.AddVertices(2)
+		case 2:
+			m.InsertEdge(int32(rng.Intn(m.N())), int32(m.N()+rng.Intn(3)))
+		default:
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				m.InsertEdge(u, v)
+			}
+		}
+	}
+	m.Flush()
+	live := m.Graph().Clone()
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := assertRecoverMatches(t, dir, live)
+	if res.TailRecords == 0 {
+		t.Fatal("expected log records to replay")
+	}
+	if res.TornBytes != 0 || res.Truncated {
+		t.Fatalf("clean shutdown left a torn tail: %+v", res)
+	}
+}
+
+// TestThresholdRotation: a low CheckpointOps threshold must rotate
+// generations during a burst, delete stale files, and still recover
+// exactly.
+func TestThresholdRotation(t *testing.T) {
+	dir := t.TempDir()
+	const n = 200
+	base := gen.ErdosRenyi(n, n, 31)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{
+		Fsync:           FsyncAlways,
+		CheckpointOps:   50,
+		CheckpointBytes: -1,
+	})
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 600; i++ {
+		u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if u != v {
+			m.InsertEdge(u, v)
+		}
+	}
+	m.Flush()
+	// Force one deterministic rotation so at least two checkpoints exist
+	// even if the background worker lagged.
+	if err := mgr.CheckpointNow(); err != nil {
+		t.Fatal(err)
+	}
+	st := mgr.Stats()
+	if st.Checkpoints < 2 {
+		t.Fatalf("expected rotations, got %d checkpoints", st.Checkpoints)
+	}
+	live := m.Graph().Clone()
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	assertRecoverMatches(t, dir, live)
+
+	// Stale generations must be gone: at most the current gen's pair
+	// (plus manifest) remains.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) > 3 {
+		var names []string
+		for _, e := range ents {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("stale files not cleaned: %v", names)
+	}
+}
+
+// buildDirWithTail constructs a durability dir whose final record batch
+// is known, returning the dir, the expected fully-recovered graph, and
+// the segment path.
+func buildDirWithTail(t *testing.T) (dir string, full *graph.Graph, seg string) {
+	t.Helper()
+	dir = t.TempDir()
+	base := gen.ErdosRenyi(60, 120, 17)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncAlways})
+	for i := int32(0); i < 10; i++ {
+		m.InsertEdge(i, i+40)
+	}
+	m.Flush()
+	full = m.Graph().Clone()
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir, full, segmentPath(dir, mgr.Stats().Gen)
+}
+
+// TestTornTailEveryOffset truncates the AOF at every byte offset inside
+// the final record (and beyond, down to mid-header) and asserts recovery
+// never fails: it returns the longest valid prefix, reporting the rest
+// as TornBytes.
+func TestTornTailEveryOffset(t *testing.T) {
+	dir, full, seg := buildDirWithTail(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the final record's start by walking the frame chain.
+	off := int64(aofHeaderSize)
+	lastStart := off
+	for off < int64(len(data)) {
+		lastStart = off
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		off += recHeaderSize + plen
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("frame walk ended at %d, file is %d", off, len(data))
+	}
+
+	// Recovery of the intact file is the baseline.
+	baseline := assertRecoverMatches(t, dir, full)
+	if baseline.TornBytes != 0 {
+		t.Fatalf("intact file reported torn bytes: %+v", baseline)
+	}
+
+	for cut := lastStart; cut < int64(len(data)); cut++ {
+		if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("cut at %d: Recover failed: %v", cut, err)
+		}
+		if res.Graph == nil {
+			t.Fatalf("cut at %d: nil graph", cut)
+		}
+		if got, want := res.TornBytes, cut-lastStart; got != want {
+			t.Fatalf("cut at %d: TornBytes = %d, want %d", cut, got, want)
+		}
+		if res.Truncated {
+			t.Fatalf("cut at %d: final-segment tear flagged Truncated", cut)
+		}
+		// The prefix before the final record must replay fully.
+		if res.TailRecords != baseline.TailRecords-1 {
+			t.Fatalf("cut at %d: TailRecords = %d, want %d", cut, res.TailRecords, baseline.TailRecords-1)
+		}
+	}
+	// Restore and confirm full recovery still works.
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	assertRecoverMatches(t, dir, full)
+}
+
+// TestCorruptCRCTail flips bits in the final record's payload and CRC:
+// recovery drops exactly that record, never errors.
+func TestCorruptCRCTail(t *testing.T) {
+	dir, full, seg := buildDirWithTail(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(aofHeaderSize)
+	lastStart := off
+	for off < int64(len(data)) {
+		lastStart = off
+		plen := int64(binary.LittleEndian.Uint32(data[off:]))
+		off += recHeaderSize + plen
+	}
+	baseline := assertRecoverMatches(t, dir, full)
+
+	for _, tc := range []struct {
+		name string
+		at   int64
+	}{
+		{"stored CRC", lastStart + 4},
+		{"payload kind byte", lastStart + recHeaderSize},
+		{"payload last byte", int64(len(data)) - 1},
+		{"length prefix huge", lastStart},
+	} {
+		b := append([]byte(nil), data...)
+		if tc.name == "length prefix huge" {
+			binary.LittleEndian.PutUint32(b[tc.at:], 0xffffffff)
+		} else {
+			b[tc.at] ^= 0x5a
+		}
+		if err := os.WriteFile(seg, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := Recover(dir)
+		if err != nil {
+			t.Fatalf("%s: Recover failed: %v", tc.name, err)
+		}
+		if res.TailRecords != baseline.TailRecords-1 {
+			t.Fatalf("%s: TailRecords = %d, want %d", tc.name, res.TailRecords, baseline.TailRecords-1)
+		}
+		if res.TornBytes == 0 {
+			t.Fatalf("%s: corruption not reported as torn", tc.name)
+		}
+	}
+}
+
+// TestCorruptMiddleRecord: corruption before the tail stops replay at
+// the longest valid prefix; with a single segment that is still a
+// "torn tail" from the corrupt record on.
+func TestCorruptMiddleRecord(t *testing.T) {
+	dir, _, seg := buildDirWithTail(t)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second record's payload.
+	off := int64(aofHeaderSize)
+	plen := int64(binary.LittleEndian.Uint32(data[off:]))
+	second := off + recHeaderSize + plen
+	if second >= int64(len(data)) {
+		t.Skip("need at least two records")
+	}
+	b := append([]byte(nil), data...)
+	b[second+recHeaderSize] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Recover(dir)
+	if err != nil {
+		t.Fatalf("Recover failed: %v", err)
+	}
+	if res.TailRecords != 1 {
+		t.Fatalf("TailRecords = %d, want 1 (longest valid prefix)", res.TailRecords)
+	}
+	if res.TornBytes != int64(len(data))-second {
+		t.Fatalf("TornBytes = %d, want %d", res.TornBytes, int64(len(data))-second)
+	}
+}
+
+// TestCrashBetweenRotationAndManifest simulates the checkpoint crash
+// window: the new segment and checkpoint exist but the manifest still
+// points at the previous generation. Recovery must replay BOTH segments.
+func TestCrashBetweenRotationAndManifest(t *testing.T) {
+	dir := t.TempDir()
+	base := gen.ErdosRenyi(80, 160, 23)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncAlways})
+	for i := int32(0); i < 8; i++ {
+		m.InsertEdge(i, i+60)
+	}
+	m.Flush()
+	if err := mgr.CheckpointNow(); err != nil { // mid-run rotation
+		t.Fatal(err)
+	}
+	for i := int32(0); i < 8; i++ {
+		m.InsertEdge(i+10, i+50)
+	}
+	m.Flush()
+	live := m.Graph().Clone()
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res := assertRecoverMatches(t, dir, live)
+	if res.Segments != 1 {
+		t.Fatalf("clean recovery crossed %d segments", res.Segments)
+	}
+
+	// Hand-built window: gen G checkpoint + full segment G + segment G+1
+	// with extra ops, manifest pointing at G.
+	dir2 := t.TempDir()
+	g0 := gen.ErdosRenyi(50, 100, 29)
+	m2, mgr2 := startManaged(t, dir2, g0.Clone(), Options{Fsync: FsyncAlways})
+	m2.InsertEdge(1, 2)
+	m2.Flush()
+	genG := mgr2.Stats().Gen
+	m2.Close()
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a synthetic next-generation segment with two more inserts.
+	next := appendSegmentHeader(nil, genG+1)
+	next = appendEdgeRecord(next, recInsert, []graph.Edge{{U: 3, V: 4}, {U: 5, V: 6}})
+	if err := os.WriteFile(segmentPath(dir2, genG+1), next, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	want := g0.Clone()
+	want.AddEdge(1, 2)
+	want.AddEdge(3, 4)
+	want.AddEdge(5, 6)
+	res2 := assertRecoverMatches(t, dir2, want)
+	if res2.Segments != 2 {
+		t.Fatalf("window recovery crossed %d segments, want 2", res2.Segments)
+	}
+}
+
+// TestRestartResumesGenerations: recover, restart a Manager on the same
+// dir, write more, recover again — generations must keep ascending and
+// state must accumulate.
+func TestRestartResumesGenerations(t *testing.T) {
+	dir := t.TempDir()
+	base := gen.ErdosRenyi(40, 80, 3)
+	m1, mgr1 := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncAlways})
+	m1.InsertEdge(0, 30)
+	m1.Flush()
+	gen1 := mgr1.Stats().Gen
+	m1.Close()
+	if err := mgr1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	res1, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, mgr2 := startManaged(t, dir, res1.Graph, Options{Fsync: FsyncAlways})
+	if g2 := mgr2.Stats().Gen; g2 <= gen1 {
+		t.Fatalf("generation did not advance: %d -> %d", gen1, g2)
+	}
+	m2.InsertEdge(1, 31)
+	m2.Flush()
+	live := m2.Graph().Clone()
+	m2.Close()
+	if err := mgr2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !live.HasEdge(0, 30) || !live.HasEdge(1, 31) {
+		t.Fatal("state lost across restart")
+	}
+	assertRecoverMatches(t, dir, live)
+}
+
+// TestStatsAndBGSave exercises the operator surface: Stats counters and
+// BGSave-triggered checkpoints.
+func TestStatsAndBGSave(t *testing.T) {
+	dir := t.TempDir()
+	base := gen.ErdosRenyi(30, 60, 41)
+	m, mgr := startManaged(t, dir, base.Clone(), Options{Fsync: FsyncEverySec})
+	before := mgr.Stats()
+	if before.Checkpoints != 1 {
+		t.Fatalf("initial checkpoints = %d, want 1", before.Checkpoints)
+	}
+	m.InsertEdge(2, 25)
+	m.Flush()
+	if st := mgr.Stats(); st.Records == 0 || st.AppendedBytes == 0 || st.OpsSinceCheckpoint == 0 {
+		t.Fatalf("append not reflected in stats: %+v", st)
+	}
+	if err := mgr.BGSave(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && mgr.Stats().Checkpoints < 2; i++ {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := mgr.Stats(); st.Checkpoints < 2 {
+		t.Fatalf("BGSave never completed: %+v", st)
+	} else if st.LastSave.IsZero() {
+		t.Fatal("LastSave is zero after checkpoint")
+	}
+	m.Close()
+	if err := mgr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFsync(t *testing.T) {
+	for s, want := range map[string]Fsync{"always": FsyncAlways, "everysec": FsyncEverySec, "no": FsyncNo} {
+		got, err := ParseFsync(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsync(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Fatalf("Fsync(%v).String() = %q, want %q", got, got.String(), s)
+		}
+	}
+	if _, err := ParseFsync("sometimes"); err == nil {
+		t.Fatal("ParseFsync accepted garbage")
+	}
+}

@@ -41,6 +41,8 @@ func init() {
 	register(&command{name: "CORE.N", minArgs: 1, maxArgs: 1, fn: cmdN})
 	register(&command{name: "CORE.CHECK", minArgs: 1, maxArgs: 1, fn: cmdCheck})
 	register(&command{name: "CORE.STATS", minArgs: 1, maxArgs: 1, fn: cmdStats})
+	register(&command{name: "CORE.BGSAVE", minArgs: 1, maxArgs: 1, fn: cmdBGSave})
+	register(&command{name: "CORE.LASTSAVE", minArgs: 1, maxArgs: 1, fn: cmdLastSave})
 }
 
 func cmdPing(c *conn, args [][]byte) bool {
@@ -242,11 +244,63 @@ func cmdStats(c *conn, args [][]byte) bool {
 		{"grow_publishes", itoa(ms.GrowPublishes)},
 		{"dirty_pages", itoa(ms.DirtyPages)},
 	}
+	if p := c.srv.persist; p != nil {
+		ps := p.Stats()
+		var lastSave int64
+		if !ps.LastSave.IsZero() {
+			lastSave = ps.LastSave.Unix()
+		}
+		kv = append(kv,
+			[2]string{"persist_gen", itoa(int64(ps.Gen))},
+			[2]string{"persist_fsync", ps.Fsync.String()},
+			[2]string{"persist_records", itoa(ps.Records)},
+			[2]string{"persist_bytes", itoa(ps.AppendedBytes)},
+			[2]string{"persist_ops_since_checkpoint", itoa(ps.OpsSinceCheckpoint)},
+			[2]string{"persist_checkpoints", itoa(ps.Checkpoints)},
+			[2]string{"persist_last_save", itoa(lastSave)},
+			[2]string{"persist_last_save_ms", itoa(ps.LastSaveDuration.Milliseconds())},
+			[2]string{"persist_err", ps.Err},
+		)
+	}
 	c.wr.WriteArrayHeader(len(kv) * 2)
 	for _, pair := range kv {
 		c.wr.WriteBulkString(pair[0])
 		c.wr.WriteBulkString(pair[1])
 	}
+	return false
+}
+
+// cmdBGSave serves CORE.BGSAVE: request an asynchronous checkpoint from
+// the attached durability manager (Redis's BGSAVE, minus the fork). A
+// checkpoint already in flight absorbs the request.
+func cmdBGSave(c *conn, args [][]byte) bool {
+	p := c.srv.persist
+	if p == nil {
+		c.writeError("ERR persistence not configured (start kcored with -dir)")
+		return false
+	}
+	if err := p.BGSave(); err != nil {
+		c.writeError("ERR " + err.Error())
+		return false
+	}
+	c.wr.WriteSimple("Background saving started")
+	return false
+}
+
+// cmdLastSave serves CORE.LASTSAVE: the unix time of the last completed
+// checkpoint (0 before the first), Redis's LASTSAVE.
+func cmdLastSave(c *conn, args [][]byte) bool {
+	p := c.srv.persist
+	if p == nil {
+		c.writeError("ERR persistence not configured (start kcored with -dir)")
+		return false
+	}
+	ls := p.LastSave()
+	if ls.IsZero() {
+		c.wr.WriteInt(0)
+		return false
+	}
+	c.wr.WriteInt(ls.Unix())
 	return false
 }
 

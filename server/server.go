@@ -23,10 +23,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/stats"
 	"repro/kcore"
+	"repro/persist"
 )
 
 // Option configures a Server.
@@ -62,6 +64,13 @@ func WithConnShards(n int) Option {
 	}
 }
 
+// WithPersistence attaches the durability manager whose OpLog already
+// feeds off this server's maintainer. The server does not own it (the
+// caller wires Start/Close around the maintainer's lifecycle); attaching
+// it here exposes the operator surface: CORE.BGSAVE, CORE.LASTSAVE, and
+// the persist_* keys in CORE.STATS.
+func WithPersistence(p *persist.Manager) Option { return func(s *Server) { s.persist = p } }
+
 const defaultMaxPipeline = 512
 
 // Server serves one Maintainer over RESP. Create with New, start with
@@ -70,6 +79,7 @@ type Server struct {
 	m           *kcore.Maintainer
 	maxPipeline int
 	connShards  int
+	persist     *persist.Manager
 	logger      *log.Logger
 	logSet      bool
 
@@ -203,8 +213,7 @@ func (s *Server) Serve(ln net.Listener) error {
 			if s.closing.Load() {
 				return ErrServerClosed
 			}
-			var ne net.Error
-			if errors.As(err, &ne) && ne.Temporary() {
+			if isTransientAccept(err) {
 				s.logf("server: accept: %v; retrying in %v", err, backoff)
 				time.Sleep(backoff)
 				if backoff *= 2; backoff > maxBackoff {
@@ -301,6 +310,25 @@ func (s *Server) closeConns() {
 		c.nc.Close()
 	}
 	s.mu.Unlock()
+}
+
+// isTransientAccept reports whether an Accept error is worth backing off
+// and retrying rather than killing the listener: fd exhaustion under a
+// connection fan-in storm (EMFILE/ENFILE — the fds come back as soon as
+// some connections drain) and a peer resetting mid-handshake
+// (ECONNABORTED/ECONNRESET). The deprecated net.Error.Temporary() covers
+// an overlapping set, but which of these it reports depends on how the
+// platform wrapped the errno (net's own isConnError misses a
+// *os.SyscallError-wrapped ECONNRESET, for instance) — errors.Is
+// classification is explicit and survives any wrapping. Temporary() is
+// kept as a fallback for non-errno transient errors.
+func isTransientAccept(err error) bool {
+	if errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE) ||
+		errors.Is(err, syscall.ECONNABORTED) || errors.Is(err, syscall.ECONNRESET) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Temporary()
 }
 
 func (s *Server) logf(format string, args ...any) {
