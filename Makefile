@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash
+.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash examples
 
 all: build vet test
 
@@ -30,12 +30,21 @@ bench-json:
 	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend' -benchmem -json ./internal/snapshot ./server ./persist > BENCH_serve.json
 
 # Crash-recovery drills: the in-repo kill -9 harness (cmd/kcored's crash
-# test spawns real server processes, so it skips itself under -short) and
-# the CLI drill (loadserve -recover-check) back to back.
+# test spawns real server processes, so it skips itself under -short),
+# the CLI drill (loadserve -recover-check), and the replication drill
+# (loadserve -replica-check: durable leader + follower, kill -9 the
+# leader mid-run, promote-by-restart, verify the follower re-syncs to
+# the acked-mirror oracle) back to back.
 crash:
 	$(GO) test -run 'TestCrashRecovery|TestGracefulRestart|TestLoadImport' -count=1 -v ./cmd/kcored
 	$(GO) build -o /tmp/kcored ./cmd/kcored
 	$(GO) run ./cmd/loadserve -recover-check -kcored /tmp/kcored -d 3s
+	$(GO) run ./cmd/loadserve -replica-check -kcored /tmp/kcored -d 3s
+
+# Example smoke runs: each example builds itself and runs at a small
+# scale, asserting its own verification line (skipped under -short).
+examples:
+	$(GO) test -count=1 ./examples/...
 
 # Fuzzing smoke pass: the engine differential fuzzer (every registered
 # engine against the BZ oracle on random mixed batches) and the RESP

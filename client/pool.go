@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"sync"
+	"time"
 )
 
 // Pool is a fixed-capacity pool of idle connections, in the shape of
@@ -15,30 +16,74 @@ type Pool struct {
 	Dial func() (*Conn, error)
 	// MaxIdle bounds the idle list (default 8).
 	MaxIdle int
+	// PingAfter is the test-on-borrow threshold: a connection idle
+	// longer than this is PINGed before being handed out, and silently
+	// replaced if the server went away meanwhile (restart, idle-timeout,
+	// half-open TCP). 0 means the default (1s); negative disables the
+	// check entirely.
+	PingAfter time.Duration
 
 	mu     sync.Mutex
-	idle   []*Conn
+	idle   []idleConn
 	closed bool
 }
+
+// idleConn stamps a pooled connection with when it went idle.
+type idleConn struct {
+	c     *Conn
+	since time.Time
+}
+
+const defaultPingAfter = time.Second
 
 // ErrPoolClosed is returned by Get after Close.
 var ErrPoolClosed = errors.New("client: pool closed")
 
-// Get returns an idle connection, or dials a new one.
+// Get returns an idle connection, or dials a new one. A connection that
+// sat idle past PingAfter is health-checked first, so a server restart
+// does not surface as an error on the next borrowed command.
 func (p *Pool) Get() (*Conn, error) {
+	pingAfter := p.PingAfter
+	if pingAfter == 0 {
+		pingAfter = defaultPingAfter
+	}
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, ErrPoolClosed
+		}
+		n := len(p.idle)
+		if n == 0 {
+			p.mu.Unlock()
+			break
+		}
+		ic := p.idle[n-1]
+		p.idle[n-1] = idleConn{}
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		if pingAfter >= 0 && time.Since(ic.since) > pingAfter {
+			if _, err := ic.c.Do("PING"); err != nil {
+				ic.c.Close()
+				continue // stale; try the next idle conn (fresher) or dial
+			}
+		}
+		return ic.c, nil
+	}
+	c, err := p.Dial()
+	if err != nil {
+		return nil, err
+	}
+	// The dial ran outside the lock; Close may have won the race. Handing
+	// the connection out anyway would leak it past Close's sweep.
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		c.Close()
 		return nil, ErrPoolClosed
 	}
-	if n := len(p.idle); n > 0 {
-		c := p.idle[n-1]
-		p.idle = p.idle[:n-1]
-		p.mu.Unlock()
-		return c, nil
-	}
 	p.mu.Unlock()
-	return p.Dial()
+	return c, nil
 }
 
 // Put returns c to the pool. Poisoned connections, connections with
@@ -62,7 +107,7 @@ func (p *Pool) Put(c *Conn) {
 		c.Close()
 		return
 	}
-	p.idle = append(p.idle, c)
+	p.idle = append(p.idle, idleConn{c: c, since: time.Now()})
 	p.mu.Unlock()
 }
 
@@ -74,8 +119,8 @@ func (p *Pool) Close() error {
 	p.idle = nil
 	p.closed = true
 	p.mu.Unlock()
-	for _, c := range idle {
-		c.Close()
+	for _, ic := range idle {
+		ic.c.Close()
 	}
 	return nil
 }

@@ -1,0 +1,178 @@
+package client_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/gen"
+	"repro/kcore"
+	"repro/server"
+)
+
+// startServerOn serves a fresh maintainer on ln and returns a shutdown
+// func.
+func startServerOn(t *testing.T, ln net.Listener) func() {
+	t.Helper()
+	m := kcore.New(gen.ErdosRenyi(50, 150, 17))
+	srv := server.New(m)
+	go srv.Serve(ln)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			srv.Close()
+			m.Close()
+		})
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// TestPoolStaleConnReplaced is the test-on-borrow regression: a pooled
+// connection whose server restarted underneath it must not be handed
+// out — the next Get health-checks it, discards it, and the borrowed
+// command never sees the stale socket.
+func TestPoolStaleConnReplaced(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	stop := startServerOn(t, ln)
+
+	p := &client.Pool{
+		Dial:      func() (*client.Conn, error) { return client.Dial(addr) },
+		PingAfter: time.Nanosecond, // every borrow health-checks
+	}
+	defer p.Close()
+
+	c, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := client.Int(c.Do("CORE.GET", 1)); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	p.Put(c)
+
+	// Restart the server on the same address: the pooled conn is now a
+	// dead socket.
+	stop()
+	var ln2 net.Listener
+	for i := 0; i < 200; i++ {
+		if ln2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	startServerOn(t, ln2)
+
+	// Without test-on-borrow this Get hands back the stale conn and the
+	// Do fails with a poisoned connection.
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	defer p.Put(c2)
+	if _, err := client.Int(c2.Do("CORE.GET", 1)); err != nil {
+		t.Fatalf("borrowed conn unusable after server restart: %v", err)
+	}
+}
+
+// TestPoolGetCloseRace pins the Get/Close race: Get re-dials outside the
+// pool lock, so Close can complete while the dial is in flight — the
+// dialed connection must be closed and Get must report ErrPoolClosed,
+// not leak a live socket past Close's sweep.
+func TestPoolGetCloseRace(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	startServerOn(t, ln)
+
+	dialStarted := make(chan struct{})
+	var dialed atomic.Pointer[client.Conn]
+	p := &client.Pool{
+		Dial: func() (*client.Conn, error) {
+			close(dialStarted)
+			c, err := client.Dial(addr)
+			if err == nil {
+				dialed.Store(c)
+			}
+			// Give Close a deterministic window to win the race.
+			time.Sleep(50 * time.Millisecond)
+			return c, err
+		},
+	}
+
+	type res struct {
+		c   *client.Conn
+		err error
+	}
+	got := make(chan res, 1)
+	go func() {
+		c, err := p.Get()
+		got <- res{c, err}
+	}()
+	<-dialStarted
+	p.Close()
+
+	r := <-got
+	if !errors.Is(r.err, client.ErrPoolClosed) {
+		t.Fatalf("Get racing Close = (%v, %v), want ErrPoolClosed", r.c, r.err)
+	}
+	if c := dialed.Load(); c != nil && c.Err() == nil {
+		t.Fatal("connection dialed during Close leaked open")
+	}
+}
+
+// TestPoolConcurrent hammers Get/Do/Put from many goroutines with a
+// mid-flight Close, for the race detector.
+func TestPoolConcurrent(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	startServerOn(t, ln)
+
+	p := &client.Pool{
+		Dial:    func() (*client.Conn, error) { return client.Dial(addr) },
+		MaxIdle: 4,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, err := p.Get()
+				if err != nil {
+					if errors.Is(err, client.ErrPoolClosed) {
+						return
+					}
+					t.Errorf("worker %d Get: %v", w, err)
+					return
+				}
+				if _, err := client.Int(c.Do("CORE.GET", i)); err != nil {
+					c.Close()
+				}
+				p.Put(c)
+			}
+		}(w)
+	}
+	time.Sleep(20 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if _, err := p.Get(); !errors.Is(err, client.ErrPoolClosed) {
+		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
+	}
+}

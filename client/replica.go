@@ -1,0 +1,104 @@
+package client
+
+import (
+	"time"
+
+	"repro/resp"
+)
+
+// ReplicaSession scales reads out to a follower without giving up
+// read-your-writes. Writes go to the leader, pipelined with CORE.EPOCH
+// in the same round trip, so the session learns the epoch that covers
+// each acked write for free; reads go to the replica, gated by a
+// pipelined CORE.WAIT on that epoch, so they can never observe state
+// older than the session's own writes.
+//
+// A ReplicaSession is not safe for concurrent use (it owns its two
+// connections the way a Conn owns its socket); pool sessions like
+// connections.
+type ReplicaSession struct {
+	leader  *Conn
+	replica *Conn
+	// WaitTimeout bounds each read-side CORE.WAIT (0 = wait until the
+	// replica catches up or disconnects).
+	WaitTimeout time.Duration
+
+	epoch  uint64 // highest leader epoch covering this session's writes
+	waited uint64 // highest epoch the replica confirmed applying
+}
+
+// NewReplicaSession pairs a leader connection (writes) with a replica
+// connection (reads).
+func NewReplicaSession(leader, replica *Conn) *ReplicaSession {
+	return &ReplicaSession{leader: leader, replica: replica}
+}
+
+// Epoch returns the highest leader epoch known to cover this session's
+// writes.
+func (s *ReplicaSession) Epoch() uint64 { return s.epoch }
+
+// Write runs a write on the leader and captures the covering epoch —
+// one round trip (the write and CORE.EPOCH share a pipeline).
+func (s *ReplicaSession) Write(cmd string, args ...any) (resp.Value, error) {
+	if err := s.leader.Send(cmd, args...); err != nil {
+		return resp.Value{}, err
+	}
+	if err := s.leader.Send("CORE.EPOCH"); err != nil {
+		return resp.Value{}, err
+	}
+	if err := s.leader.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	v, werr := s.leader.Receive()
+	e, eerr := Int(s.leader.Receive())
+	if eerr == nil && uint64(e) > s.epoch {
+		s.epoch = uint64(e)
+	}
+	if werr != nil {
+		return resp.Value{}, werr
+	}
+	if eerr != nil {
+		return resp.Value{}, eerr
+	}
+	return v, nil
+}
+
+// Read runs a read on the replica. If the session has written since the
+// replica last proved it caught up, the read is preceded by CORE.WAIT
+// on the write's epoch — pipelined, so the gate costs no extra round
+// trip. A WAIT timeout surfaces as the error (the read's reply is
+// discarded: it may be stale).
+func (s *ReplicaSession) Read(cmd string, args ...any) (resp.Value, error) {
+	if s.epoch <= s.waited {
+		return s.replica.Do(cmd, args...)
+	}
+	var err error
+	if s.WaitTimeout > 0 {
+		ms := int64(s.WaitTimeout / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		err = s.replica.Send("CORE.WAIT", s.epoch, ms)
+	} else {
+		err = s.replica.Send("CORE.WAIT", s.epoch)
+	}
+	if err != nil {
+		return resp.Value{}, err
+	}
+	if err := s.replica.Send(cmd, args...); err != nil {
+		return resp.Value{}, err
+	}
+	if err := s.replica.Flush(); err != nil {
+		return resp.Value{}, err
+	}
+	_, werr := Int(s.replica.Receive())
+	v, rerr := s.replica.Receive()
+	if werr != nil {
+		return resp.Value{}, werr
+	}
+	if rerr != nil {
+		return resp.Value{}, rerr
+	}
+	s.waited = s.epoch
+	return v, nil
+}

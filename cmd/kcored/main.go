@@ -51,9 +51,22 @@ func main() {
 		fsyncName   = flag.String("aof-fsync", "everysec", "AOF sync policy: always|everysec|no")
 		ckptOps     = flag.Int64("checkpoint-ops", 0, "checkpoint after this many logged ops (0 = default, <0 = never)")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this many logged bytes (0 = default, <0 = never)")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only follower of the leader kcored at host:port")
 		quiet       = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
+
+	if *replicaOf != "" {
+		// A follower's only durable truth is the leader's stream: it
+		// bootstraps from a leader snapshot on every (re)connect, so local
+		// persistence or preloads would only be discarded state.
+		if *dir != "" || *load != "" {
+			fmt.Fprintln(os.Stderr, "kcored: -replica-of is mutually exclusive with -dir and -load")
+			os.Exit(2)
+		}
+		runReplica(*replicaOf, *addr, *algName, *workers, *maxVertices, *connShards, *quiet)
+		return
+	}
 
 	alg, err := parseAlg(*algName)
 	if err != nil {

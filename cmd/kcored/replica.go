@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/graph"
+	"repro/kcore"
+	"repro/server"
+)
+
+// runReplica is the -replica-of mode: serve reads from a follower that
+// streams the leader's op log, rejecting writes (READONLY) and exposing
+// CORE.WAIT on the applied-epoch watermark for read-your-writes.
+func runReplica(leaderAddr, addr, algName string, workers, maxVertices, connShards int, quiet bool) {
+	alg, err := parseAlg(algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// The placeholder maintainer serves until the first leader snapshot
+	// lands; the replica swaps the real one in atomically.
+	m := kcore.New(graph.New(0),
+		kcore.WithAlgorithm(alg),
+		kcore.WithWorkers(workers),
+		kcore.WithMaxVertices(maxVertices))
+	srv := server.New(m, server.WithConnShards(connShards))
+	var logger *log.Logger
+	if !quiet {
+		logger = log.Default()
+	}
+	rep := server.NewReplica(srv, leaderAddr, server.ReplicaOptions{
+		Workers:     workers,
+		Alg:         alg,
+		MaxVertices: maxVertices,
+		Logger:      logger,
+	})
+	rep.Start()
+
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if !quiet {
+			log.Printf("kcored: replica shutting down")
+		}
+		rep.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	if !quiet {
+		log.Printf("kcored: replica of %s, listening on %s", leaderAddr, addr)
+	}
+	if err := srv.ListenAndServe(addr); err != server.ErrServerClosed {
+		log.Fatalf("kcored: %v", err)
+	}
+	<-shutdownDone
+	srv.Maintainer().Close()
+	if !quiet {
+		st := srv.Stats()
+		log.Printf("kcored: replica served %d commands over %d connections, applied epoch %d",
+			st.Commands, st.ConnsTotal, rep.Watermark().Epoch())
+	}
+}

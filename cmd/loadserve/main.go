@@ -49,15 +49,26 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		check    = flag.Bool("check", false, "verify invariants after the run")
 		churn    = flag.Bool("churn", false, "add a vertex-churn writer: arrival batches on fresh ids (auto-grow) + partial removal")
-		netAddr  = flag.String("net", "", "drive a live kcored server at this address over TCP instead of an in-process maintainer (-n/-m/-alg/-workers/-churn are the server's business then)")
+		netAddr  = flag.String("net", "", "drive a live kcored server over TCP instead of an in-process maintainer: \"leader[,replica,...]\" — writes go to the leader, reads round-robin over listed replicas (-n/-m/-alg/-workers/-churn are the server's business then)")
 		pipeline = flag.Int("pipeline", 16, "pipeline depth per network reader (-net mode)")
 		recCheck = flag.Bool("recover-check", false, "crash-recovery drill: spawn a private kcored (-kcored), drive an acked burst, kill -9 mid-burst, restart, verify served cores against a single-node oracle")
-		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check mode)")
+		repCheck = flag.Bool("replica-check", false, "replication drill: spawn a durable leader + follower (-kcored), kill -9 the leader mid-run, restart it, verify the follower re-syncs to the acked-mirror oracle")
+		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check / -replica-check modes)")
 	)
 	flag.Parse()
 
 	if *recCheck {
 		recoverCheckRun(recoverCheckConfig{
+			kcored:   *kcored,
+			duration: *duration,
+			batch:    *batch,
+			seed:     *seed,
+		})
+		return
+	}
+
+	if *repCheck {
+		replicaCheckRun(replicaCheckConfig{
 			kcored:   *kcored,
 			duration: *duration,
 			batch:    *batch,

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -22,7 +23,7 @@ import (
 )
 
 type netConfig struct {
-	addr     string
+	addr     string // leader address, optionally followed by ,replica,...
 	readers  int
 	writers  int
 	batch    int // edges per pipelined write flight
@@ -33,15 +34,33 @@ type netConfig struct {
 }
 
 func netRun(cfg netConfig) {
-	pool := &client.Pool{
-		Dial:    func() (*client.Conn, error) { return client.Dial(cfg.addr, client.WithDialTimeout(5*time.Second)) },
-		MaxIdle: cfg.readers + cfg.writers + 1,
+	// "-net leader[,replica,...]": writes always go to the first address;
+	// with replicas listed, readers round-robin across the replicas — the
+	// read-scaling topology — and -check adds a convergence sweep.
+	addrs := strings.Split(cfg.addr, ",")
+	leaderAddr := addrs[0]
+	replicaAddrs := addrs[1:]
+	newPool := func(addr string) *client.Pool {
+		return &client.Pool{
+			Dial:    func() (*client.Conn, error) { return client.Dial(addr, client.WithDialTimeout(5*time.Second)) },
+			MaxIdle: cfg.readers + cfg.writers + 1,
+		}
 	}
+	pool := newPool(leaderAddr)
 	defer pool.Close()
+	readPools := []*client.Pool{pool}
+	if len(replicaAddrs) > 0 {
+		readPools = readPools[:0]
+		for _, a := range replicaAddrs {
+			rp := newPool(a)
+			defer rp.Close()
+			readPools = append(readPools, rp)
+		}
+	}
 
 	c, err := pool.Get()
 	if err != nil {
-		log.Fatalf("loadserve: connect %s: %v", cfg.addr, err)
+		log.Fatalf("loadserve: connect %s: %v", leaderAddr, err)
 	}
 	serverN, err := client.Int(c.Do("CORE.N"))
 	if err != nil {
@@ -53,7 +72,10 @@ func netRun(cfg netConfig) {
 	}
 	pool.Put(c)
 	fmt.Printf("driving kcored at %s: alg=%s n=%d epoch=%s\n",
-		cfg.addr, startStats["alg"], serverN, startStats["epoch"])
+		leaderAddr, startStats["alg"], serverN, startStats["epoch"])
+	if len(replicaAddrs) > 0 {
+		fmt.Printf("reads served by %d replica(s): %s\n", len(replicaAddrs), strings.Join(replicaAddrs, ", "))
+	}
 	if serverN == 0 {
 		log.Fatalf("loadserve: server has an empty universe; start kcored with -load or -n")
 	}
@@ -73,13 +95,14 @@ func netRun(cfg netConfig) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			cc, err := pool.Get()
+			rp := readPools[r%len(readPools)]
+			cc, err := rp.Get()
 			if err != nil {
 				errCount.Add(1)
 				log.Printf("reader %d: %v", r, err)
 				return
 			}
-			defer pool.Put(cc)
+			defer rp.Put(cc)
 			rng := rand.New(rand.NewSource(cfg.seed + 100 + int64(r)))
 			for i := 0; !stop.Load(); i++ {
 				start := time.Now()
@@ -224,6 +247,60 @@ func netRun(cfg netConfig) {
 			log.Fatalf("loadserve: CORE.CHECK = %q, %v", s, err)
 		}
 		fmt.Println("invariants: ok (server-side CORE.CHECK)")
+		if len(replicaAddrs) > 0 {
+			leaderCores := sweepServerCores(cc, "leader")
+			for _, a := range replicaAddrs {
+				rc, err := client.Dial(a, client.WithDialTimeout(5*time.Second))
+				if err != nil {
+					log.Fatalf("loadserve: replica %s: %v", a, err)
+				}
+				// Read-your-writes gate: every write above was acked before
+				// CORE.FLUSH returned epoch, so WAIT epoch makes the sweep
+				// cover the whole run.
+				if _, err := client.Int(rc.Do("CORE.WAIT", epoch, 60_000)); err != nil {
+					log.Fatalf("loadserve: CORE.WAIT %d on %s: %v", epoch, a, err)
+				}
+				repCores := sweepServerCores(rc, a)
+				if len(repCores) != len(leaderCores) {
+					log.Fatalf("loadserve: replica %s has n=%d, leader n=%d", a, len(repCores), len(leaderCores))
+				}
+				for v := range leaderCores {
+					if repCores[v] != leaderCores[v] {
+						log.Fatalf("loadserve: replica %s diverged: core[%d]=%d, leader=%d",
+							a, v, repCores[v], leaderCores[v])
+					}
+				}
+				if s, err := client.String(rc.Do("CORE.CHECK")); err != nil || s != "OK" {
+					log.Fatalf("loadserve: CORE.CHECK on %s = %q, %v", a, s, err)
+				}
+				rc.Close()
+			}
+			fmt.Printf("replicas: %d converged (full core sweep equal to leader)\n", len(replicaAddrs))
+		}
 	}
 	pool.Put(cc)
+}
+
+// sweepServerCores reads every core number off a server in chunked
+// CORE.MGET calls.
+func sweepServerCores(c *client.Conn, who string) []int64 {
+	n, err := client.Int(c.Do("CORE.N"))
+	if err != nil {
+		log.Fatalf("loadserve: CORE.N on %s: %v", who, err)
+	}
+	out := make([]int64, 0, n)
+	const chunk = 1024
+	for lo := int64(0); lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		args := make([]any, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			args = append(args, v)
+		}
+		ks, err := client.Ints(c.Do("CORE.MGET", args...))
+		if err != nil {
+			log.Fatalf("loadserve: CORE.MGET sweep on %s: %v", who, err)
+		}
+		out = append(out, ks...)
+	}
+	return out
 }

@@ -1,0 +1,243 @@
+package main
+
+// The -replica-check mode: an end-to-end replication drill runnable from
+// the command line (part of `make crash`). loadserve spawns a durable
+// leader kcored (-aof-fsync always) and a follower (-replica-of), drives
+// acknowledged write bursts into the leader while mirroring every acked
+// op into a client-side oracle graph, then kill -9s the leader BETWEEN
+// bursts — no unacked tail in flight, so the op log holds exactly the
+// mirror. It restarts the leader on the surviving directory (the
+// promote-by-restart path), drives more acked bursts, and polls the
+// follower — which must notice the dead leader, reconnect with backoff,
+// and re-bootstrap from the successor's snapshot — until its full
+// CORE.MGET sweep equals a fresh BZ decomposition of the mirror,
+// finishing with CORE.CHECK on both nodes and a READONLY probe on the
+// follower.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+	"repro/internal/bz"
+)
+
+type replicaCheckConfig struct {
+	kcored   string // path to the kcored binary
+	duration time.Duration
+	batch    int
+	seed     int64
+}
+
+func replicaCheckRun(cfg replicaCheckConfig) {
+	if cfg.kcored == "" {
+		log.Fatalf("loadserve: -replica-check needs -kcored <path-to-binary> (build with: go build -o kcored ./cmd/kcored)")
+	}
+	tmp, err := os.MkdirTemp("", "loadserve-replica-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(tmp)
+	leaderAddr := fmt.Sprintf("127.0.0.1:%d", mustFreePort())
+	replicaAddr := fmt.Sprintf("127.0.0.1:%d", mustFreePort())
+
+	leader := spawnKcored(cfg.kcored, tmp+"/data", leaderAddr)
+	defer killProc(&leader)
+	replica := spawnKcoredReplica(cfg.kcored, leaderAddr, replicaAddr)
+	defer killProc(&replica)
+
+	// Acked churn into the leader, mirrored client-side. Bursts are fully
+	// awaited, so between bursts the op log holds exactly the mirror.
+	const n = 3000
+	rng := rand.New(rand.NewSource(cfg.seed))
+	mirror := graph.New(n)
+	c, err := client.Dial(leaderAddr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatalf("loadserve: connect leader: %v", err)
+	}
+	burstHalf := cfg.duration / 2
+	b1 := ackedBursts(c, mirror, rng, max(cfg.batch, 8), burstHalf)
+	c.Close()
+
+	// kill -9 the leader between bursts: everything acked is on disk
+	// (fsync=always), nothing unacked is in flight.
+	if err := leader.Process.Signal(syscall.SIGKILL); err != nil {
+		log.Fatalf("loadserve: kill -9 leader: %v", err)
+	}
+	leader.Wait()
+	leader = nil
+	fmt.Printf("killed leader after %d acked bursts (mirror: n=%d m=%d)\n", b1, mirror.N(), mirror.M())
+
+	// Promote-by-restart: the successor recovers the directory on the
+	// same address. The follower must re-bootstrap from it on its own.
+	leader = spawnKcored(cfg.kcored, tmp+"/data", leaderAddr)
+	c2, err := client.Dial(leaderAddr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatalf("loadserve: reconnect successor: %v", err)
+	}
+	b2 := ackedBursts(c2, mirror, rng, max(cfg.batch, 8), burstHalf)
+	if _, err := client.Int(c2.Do("CORE.FLUSH")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("successor took %d more acked bursts (mirror: n=%d m=%d)\n", b2, mirror.N(), mirror.M())
+
+	// The oracle: a fresh decomposition of the acked mirror.
+	wantCore, _ := bz.Decompose(mirror.Clone())
+
+	// The follower converges on its own schedule (reconnect backoff +
+	// re-bootstrap): poll its full sweep against the oracle.
+	rc, err := client.Dial(replicaAddr, client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		log.Fatalf("loadserve: connect follower: %v", err)
+	}
+	defer rc.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if followerMatches(rc, wantCore) {
+			break
+		}
+		if time.Now().After(deadline) {
+			st, _ := client.StringMap(rc.Do("CORE.STATS"))
+			log.Fatalf("loadserve: follower never converged on the successor's state; stats: %v", st)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("follower re-synced and converged: all %d core numbers match the acked-mirror oracle\n", len(wantCore))
+
+	// The follower's write surface must be closed.
+	if _, err := rc.Do("CORE.INSERT", 1, 2); err == nil || !strings.Contains(err.Error(), "READONLY") {
+		log.Fatalf("loadserve: follower accepted a write: %v", err)
+	}
+	for who, cc := range map[string]*client.Conn{"leader": c2, "follower": rc} {
+		if s, err := client.String(cc.Do("CORE.CHECK")); err != nil || s != "OK" {
+			log.Fatalf("loadserve: CORE.CHECK on %s = %q, %v", who, s, err)
+		}
+	}
+	c2.Close()
+	fmt.Println("replica-check: PASS")
+}
+
+// ackedBursts drives pipelined insert/remove bursts for d, awaiting
+// every reply before the op lands in mirror. Returns the burst count.
+func ackedBursts(c *client.Conn, mirror *graph.Graph, rng *rand.Rand, batch int, d time.Duration) int {
+	n := mirror.N()
+	type op struct {
+		e      graph.Edge
+		remove bool
+	}
+	deadline := time.Now().Add(d)
+	bursts := 0
+	for time.Now().Before(deadline) {
+		ops := make([]op, 0, batch)
+		for i := 0; i < batch; i++ {
+			if rng.Intn(8) == 0 && mirror.M() > 0 {
+				for tries := 0; tries < 32; tries++ {
+					u := int32(rng.Intn(n))
+					if a := mirror.Adj(u); len(a) > 0 {
+						ops = append(ops, op{e: graph.Edge{U: u, V: a[rng.Intn(len(a))]}.Norm(), remove: true})
+						break
+					}
+				}
+				continue
+			}
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u != v {
+				ops = append(ops, op{e: graph.Edge{U: u, V: v}.Norm()})
+			}
+		}
+		for _, o := range ops {
+			cmd := "CORE.INSERT"
+			if o.remove {
+				cmd = "CORE.REMOVE"
+			}
+			if err := c.Send(cmd, int64(o.e.U), int64(o.e.V)); err != nil {
+				log.Fatalf("loadserve: send: %v", err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			log.Fatalf("loadserve: flush: %v", err)
+		}
+		for _, o := range ops {
+			if _, err := c.Receive(); err != nil {
+				log.Fatalf("loadserve: receive: %v", err)
+			}
+			if o.remove {
+				mirror.RemoveEdge(o.e.U, o.e.V)
+			} else {
+				mirror.AddEdge(o.e.U, o.e.V)
+			}
+		}
+		bursts++
+	}
+	return bursts
+}
+
+// followerMatches sweeps the follower's full core array and compares it
+// to want; any mismatch (including a transient one mid-sync) returns
+// false.
+func followerMatches(rc *client.Conn, want []int32) bool {
+	servedN, err := client.Int(rc.Do("CORE.N"))
+	if err != nil || int(servedN) != len(want) {
+		return false
+	}
+	const chunk = 512
+	for lo := 0; lo < len(want); lo += chunk {
+		hi := min(lo+chunk, len(want))
+		args := make([]any, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			args = append(args, int64(v))
+		}
+		vals, err := client.Ints(rc.Do("CORE.MGET", args...))
+		if err != nil {
+			return false
+		}
+		for i, got := range vals {
+			if int32(got) != want[lo+i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func spawnKcoredReplica(bin, leaderAddr, addr string) *exec.Cmd {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-replica-of", leaderAddr,
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("loadserve: start replica %s: %v", bin, err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithDialTimeout(time.Second))
+		if err == nil {
+			_, perr := c.Do("PING")
+			c.Close()
+			if perr == nil {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			log.Fatalf("loadserve: replica kcored on %s never came up", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func killProc(p **exec.Cmd) {
+	if *p != nil {
+		(*p).Process.Kill()
+		(*p).Wait()
+	}
+}

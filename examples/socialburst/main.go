@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"time"
 
@@ -20,27 +21,28 @@ import (
 )
 
 func main() {
-	const (
-		users     = 20000
-		burstSize = 4000
-		workers   = 8
-		alarmCore = 5 // "densely embedded" threshold
+	var (
+		users     = flag.Int("users", 20000, "users in the simulated network")
+		burstSize = flag.Int("burst", 4000, "new interactions per burst")
+		workers   = flag.Int("workers", 8, "engine worker goroutines")
+		alarmCore = flag.Int("alarm-core", 5, "\"densely embedded\" core threshold")
 	)
-	network := gen.BarabasiAlbert(users, 4, 7)
-	m := kcore.New(network, kcore.WithWorkers(workers))
+	flag.Parse()
+	network := gen.BarabasiAlbert(*users, 4, 7)
+	m := kcore.New(network, kcore.WithWorkers(*workers))
 	fmt.Printf("network: %d users, %d follows, max core %d\n",
 		network.N(), network.M(), m.MaxCore())
 	before := m.CoreNumbers()
 
 	// A burst: a hot topic makes thousands of new interactions appear at
 	// once, concentrated around existing hubs (preferential attachment).
-	burst := gen.SampleNonEdges(m.Graph(), burstSize, 99)
+	burst := gen.SampleNonEdges(m.Graph(), *burstSize, 99)
 
 	t0 := time.Now()
 	res := m.InsertEdges(burst)
 	elapsed := time.Since(t0)
 	fmt.Printf("burst: %d new interactions maintained in %v with %d workers\n",
-		res.Applied, elapsed, workers)
+		res.Applied, elapsed, *workers)
 	fmt.Printf("core numbers updated for %d users\n", res.ChangedVertices)
 
 	// Surface the users whose density jumped past the alarm threshold —
@@ -48,7 +50,7 @@ func main() {
 	after := m.CoreNumbers()
 	alarms := 0
 	for v := range after {
-		if before[v] < alarmCore && after[v] >= alarmCore {
+		if before[v] < int32(*alarmCore) && after[v] >= int32(*alarmCore) {
 			alarms++
 			if alarms <= 5 {
 				fmt.Printf("  alarm: user %d entered the %d-core (was %d)\n",

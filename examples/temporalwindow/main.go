@@ -8,6 +8,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/gen"
@@ -16,38 +17,39 @@ import (
 )
 
 func main() {
-	const (
-		vertices   = 8000
-		windowLen  = 12 // window size in batches
-		batchEdges = 1500
-		steps      = 8
-		workers    = 8
+	var (
+		vertices   = flag.Int("vertices", 8000, "vertices in the contact network")
+		windowLen  = flag.Int("window", 12, "window size in batches")
+		batchEdges = flag.Int("batch-edges", 1500, "edges per stream batch")
+		steps      = flag.Int("steps", 8, "window slides to run")
+		workers    = flag.Int("workers", 8, "engine worker goroutines")
 	)
+	flag.Parse()
 	// Synthesize a timestamped interaction stream over a power-law
 	// contact network (the stand-in for a KONECT temporal graph).
-	full := gen.PowerLawCluster(vertices, 14, 2.3, 3)
+	full := gen.PowerLawCluster(*vertices, 14, 2.3, 3)
 	stream := gen.TemporalStream(full, 11)
-	batches := len(stream) / batchEdges
+	batches := len(stream) / *batchEdges
 	fmt.Printf("stream: %d timestamped edges in %d batches\n", len(stream), batches)
 
 	batch := func(i int) []graph.Edge {
 		var out []graph.Edge
-		for _, te := range stream[i*batchEdges : (i+1)*batchEdges] {
+		for _, te := range stream[i**batchEdges : (i+1)**batchEdges] {
 			out = append(out, te.E)
 		}
 		return out
 	}
 
 	// Start with the first windowLen batches inside the window.
-	m := kcore.New(graph.New(vertices), kcore.WithWorkers(workers))
-	for i := 0; i < windowLen && i < batches; i++ {
+	m := kcore.New(graph.New(*vertices), kcore.WithWorkers(*workers))
+	for i := 0; i < *windowLen && i < batches; i++ {
 		m.InsertEdges(batch(i))
 	}
-	fmt.Printf("window [0,%d): max core %d\n", windowLen, m.MaxCore())
+	fmt.Printf("window [0,%d): max core %d\n", *windowLen, m.MaxCore())
 
 	// Slide: each step admits one new batch and expires the oldest.
-	for s := 0; s < steps && windowLen+s < batches; s++ {
-		newest := windowLen + s
+	for s := 0; s < *steps && *windowLen+s < batches; s++ {
+		newest := *windowLen + s
 		oldest := s
 		ins := m.InsertEdges(batch(newest))
 		rem := m.RemoveEdges(batch(oldest))

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmoke builds and runs the example at a small scale and checks the
+// self-verification line — the example must stay a working, correct
+// demo, not just compile.
+func TestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("example smoke run skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "temporalwindow")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	run := exec.Command(bin, "-vertices", "1000", "-window", "4", "-batch-edges", "300", "-steps", "3", "-workers", "2")
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "verified: maintained cores equal a fresh decomposition") {
+		t.Fatalf("output missing the verification line:\n%s", out)
+	}
+	if !strings.Contains(string(out), "window [") {
+		t.Fatalf("output missing the sliding-window report:\n%s", out)
+	}
+}

@@ -125,6 +125,19 @@ type OpLog interface {
 	AppendGrow(n int)
 }
 
+// EpochLog is an OpLog that additionally wants post-publication epoch
+// markers — the hook replication uses to tell followers which snapshot
+// epoch the preceding ops produced. AppendEpoch is called at the same
+// quiescent point as the other OpLog methods, once per snapshot
+// publication the op stream caused (after the batch or growth it marks),
+// with the epoch of the just-published snapshot. Implementations that
+// only persist (no live followers) can ignore it; the disk log derives
+// nothing from epochs.
+type EpochLog interface {
+	OpLog
+	AppendEpoch(epoch uint64)
+}
+
 // DefaultMaxVertices is the default auto-growth ceiling (~16.7M
 // vertices): large enough for any workload this system targets, small
 // enough that one corrupted id cannot make the applier attempt a
@@ -225,10 +238,11 @@ func (r *BatchResult) merge(s Stats) {
 // back to the Maintainer handle, so an abandoned Maintainer can be
 // collected (a runtime cleanup then stops the applier).
 type engine struct {
-	cfg  config
-	g    *graph.Graph
-	impl Engine     // registered implementation for cfg.alg
-	mu   sync.Mutex // serializes post-Close synchronous applies
+	cfg      config
+	g        *graph.Graph
+	impl     Engine     // registered implementation for cfg.alg
+	epochlog EpochLog   // cfg.oplog when it wants epoch markers, else nil
+	mu       sync.Mutex // serializes post-Close synchronous applies
 }
 
 // Maintainer tracks core numbers of one dynamic graph. Create it with New;
@@ -269,6 +283,9 @@ func New(g *graph.Graph, opts ...Option) *Maintainer {
 		cfg.alg = ParallelOrder
 	}
 	eng := &engine{cfg: cfg, g: g, impl: newEngine(cfg.alg, g, cfg.workers)}
+	if el, ok := cfg.oplog.(EpochLog); ok {
+		eng.epochlog = el
+	}
 	pipe := newPipeline()
 	go pipe.run(eng)
 	m := &Maintainer{eng: eng, pipe: pipe}
@@ -484,6 +501,7 @@ func (m *Maintainer) AddVertices(k int) int {
 				if lg := m.eng.cfg.oplog; lg != nil {
 					lg.AppendGrow(target)
 				}
+				m.eng.logEpoch()
 			}
 		}
 		n = m.eng.g.N()
@@ -528,6 +546,19 @@ func (eng *engine) publishAfter(res *BatchResult) {
 }
 
 func (eng *engine) check() error { return eng.impl.Check() }
+
+// logEpoch hands the just-published snapshot epoch to the attached
+// EpochLog, if any. Called at the same quiescent point as logBatch /
+// AppendGrow, strictly after the publication it marks, so a follower
+// that has applied every op up to a marker is exactly at that epoch.
+// One marker per batch covers any implicit mid-batch growth publication
+// too: follower WAITs are monotone (epoch >= target), and the final
+// post-batch epoch is >= every intermediate one.
+func (eng *engine) logEpoch() {
+	if eng.epochlog != nil {
+		eng.epochlog.AppendEpoch(eng.view().Epoch)
+	}
+}
 
 // logBatch hands one canonical post-scan batch to the attached OpLog,
 // before the engine applies it (write-ahead: a durable log that syncs
@@ -635,6 +666,7 @@ func (eng *engine) applyDirect(op *updateOp) BatchResult {
 	res.Duration = time.Since(start)
 	res.Coalesced = 1
 	eng.publishAfter(&res)
+	eng.logEpoch()
 	res.changed = nil // dead after publication; don't hand it to the caller
 	return res
 }

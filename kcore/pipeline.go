@@ -210,6 +210,7 @@ func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	res.Duration = time.Since(start)
 	res.Coalesced = len(seg)
 	eng.publishAfter(&res)
+	eng.logEpoch()
 	// The changed set is dead after publication; don't let callers that
 	// retain their BatchResult pin a batch's whole ⋃V* in memory.
 	res.changed = nil

@@ -100,6 +100,11 @@ type Options struct {
 	// CheckpointBytes is the same threshold in appended log bytes.
 	// 0 picks the default (256 MiB); negative disables it.
 	CheckpointBytes int64
+	// SyncBufferBytes bounds each replication follower tap's backlog of
+	// not-yet-streamed records; a tap exceeding it is dropped and its
+	// follower must re-sync (the slow-follower policy). 0 picks the
+	// default (8 MiB).
+	SyncBufferBytes int64
 	// Logger receives recovery/checkpoint/error lines; nil uses the
 	// standard logger.
 	Logger *log.Logger
@@ -109,6 +114,10 @@ const (
 	defaultCheckpointOps   = 200_000
 	defaultCheckpointBytes = 256 << 20
 )
+
+// errManagerClosed declines work that raced Close; it is a refusal, not
+// a persistence failure, so it never trips the sticky error.
+var errManagerClosed = errors.New("persist: manager closed")
 
 // Stats is a point-in-time view of the durability subsystem, surfaced
 // over the wire in CORE.STATS.
@@ -121,6 +130,8 @@ type Stats struct {
 	LastSave           time.Time     // completion time of the last checkpoint
 	LastSaveDuration   time.Duration // wall time of the last checkpoint
 	Fsync              Fsync
+	SyncFollowers      int   // live replication follower taps
+	SyncDropped        int64 // follower taps dropped by the slow-follower policy (lifetime)
 	Err                string // sticky append/checkpoint error ("" = healthy)
 }
 
@@ -144,6 +155,7 @@ type Manager struct {
 	opsSince   int64
 	bytesSince int64
 	err        error
+	taps       []*tap // replication follower fan-out (see stream.go)
 
 	// ckptMu serializes checkpoints (threshold-triggered, BGSave,
 	// CheckpointNow, Start's initial one).
@@ -157,6 +169,8 @@ type Manager struct {
 	closed  atomic.Bool
 
 	records       atomic.Int64
+	syncsStarted  atomic.Int64
+	syncDropped   atomic.Int64
 	appendedBytes atomic.Int64
 	checkpoints   atomic.Int64
 	lastSaveUnix  atomic.Int64
@@ -224,6 +238,7 @@ func (p *Manager) Close() error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.killTapsLocked()
 	var err error
 	if p.f != nil {
 		err = p.f.Sync()
@@ -280,9 +295,9 @@ func (p *Manager) AppendGrow(n int) {
 	p.finishAppendLocked(1)
 }
 
-// writeLocked writes the encoded record(s) in p.buf to the segment,
-// recording a sticky error on failure. Returns false once persistence is
-// broken.
+// writeLocked writes the encoded record(s) in p.buf to the segment and
+// fans them out to the replication taps, recording a sticky error on
+// failure. Returns false once persistence is broken.
 func (p *Manager) writeLocked() bool {
 	if _, err := p.f.Write(p.buf); err != nil {
 		p.failLocked(fmt.Errorf("persist: append: %w", err))
@@ -291,6 +306,7 @@ func (p *Manager) writeLocked() bool {
 	p.records.Add(1)
 	p.appendedBytes.Add(int64(len(p.buf)))
 	p.bytesSince += int64(len(p.buf))
+	p.fanLocked(p.buf, 0, false)
 	return true
 }
 
@@ -326,6 +342,7 @@ func (p *Manager) failLocked(err error) {
 	p.err = err
 	s := err.Error()
 	p.errStr.Store(&s)
+	p.killTapsLocked() // followers re-sync from a healthy leader instead
 	p.logf("persist: DISABLED after error: %v", err)
 }
 
@@ -341,6 +358,12 @@ func (p *Manager) CheckpointNow() error {
 	defer p.ckptMu.Unlock()
 	if p.m == nil {
 		return errors.New("persist: not started")
+	}
+	if p.closed.Load() {
+		// A request racing Close (SIGTERM final save vs a threshold
+		// checkpoint) lands here instead of reopening a segment on a
+		// closed manager.
+		return errManagerClosed
 	}
 	start := time.Now()
 	var (
@@ -369,6 +392,11 @@ func (p *Manager) CheckpointNow() error {
 		gen, rotErr = p.rotateSegment()
 	})
 	if rotErr != nil {
+		if errors.Is(rotErr, errManagerClosed) {
+			// Close won the race between our entry check and the
+			// quiescent point; nothing is broken — just decline.
+			return rotErr
+		}
 		p.mu.Lock()
 		p.failLocked(fmt.Errorf("persist: checkpoint rotate: %w", rotErr))
 		p.mu.Unlock()
@@ -405,6 +433,12 @@ func (p *Manager) rotateSegment() (uint64, error) {
 	defer p.mu.Unlock()
 	if p.err != nil {
 		return 0, p.err
+	}
+	if p.closed.Load() {
+		// Close sets closed before taking mu, so once it holds the lock
+		// every later rotation observes this and cannot reopen a new
+		// segment (a leaked fd and post-Close files otherwise).
+		return 0, errManagerClosed
 	}
 	if p.f != nil {
 		// The old segment gets one final sync whatever the policy:
@@ -477,9 +511,11 @@ func (p *Manager) Err() error {
 // Stats returns the durability counters.
 func (p *Manager) Stats() Stats {
 	p.mu.Lock()
-	gen, opsSince := p.gen, p.opsSince
+	gen, opsSince, followers := p.gen, p.opsSince, len(p.taps)
 	p.mu.Unlock()
 	s := Stats{
+		SyncFollowers: followers,
+		SyncDropped:   p.syncDropped.Load(),
 		Gen:                gen,
 		Records:            p.records.Load(),
 		AppendedBytes:      p.appendedBytes.Load(),
@@ -510,6 +546,17 @@ func (p *Manager) loop() {
 		case <-p.quit:
 			return
 		case <-p.ckptReq:
+			// Coalesce: a request armed while a checkpoint was already in
+			// flight (threshold re-fire, BGSAVE spam, SIGTERM final save)
+			// is satisfied by that checkpoint if no op landed since —
+			// skipping it avoids back-to-back rotations of an unchanged
+			// state. The threshold re-arms on the next append regardless.
+			p.mu.Lock()
+			ops := p.opsSince
+			p.mu.Unlock()
+			if ops == 0 && p.checkpoints.Load() > 0 {
+				continue
+			}
 			if err := p.CheckpointNow(); err != nil {
 				p.logf("persist: background checkpoint: %v", err)
 			}

@@ -1,0 +1,433 @@
+package persist
+
+// Replication streaming: the Manager fans the same CRC-framed records it
+// appends to the AOF out to any number of follower taps, each fed at the
+// append path's quiescent point — leader disk and every follower see one
+// canonical op stream. A SyncSession starts with a full snapshot (the
+// graph binary captured at the tap's registration instant, so the tap's
+// records are exactly the ops after it) and then drains the tap; two
+// stream-only record kinds ride along, never written to disk:
+//
+//	recEpoch  u64 — the snapshot epoch the preceding ops produced;
+//	            a follower that has applied everything up to this
+//	            marker serves reads at least this fresh (CORE.WAIT).
+//	recPing   u64 — idle keepalive carrying the last streamed epoch,
+//	            so a quiet leader still advances follower watermarks
+//	            and dead connections are detected by read deadline.
+//
+// Slow-follower policy: each tap buffers at most SyncBufferBytes of
+// not-yet-drained records; on overflow the tap is dropped (the session's
+// Wait returns ErrSlowFollower) and the follower re-bootstraps with a
+// fresh CORE.SYNC — the leader never blocks on a follower.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sync"
+	"time"
+
+	"repro/graph"
+	"repro/kcore"
+)
+
+const (
+	recEpoch byte = 4 // stream-only: post-publication snapshot epoch marker
+	recPing  byte = 5 // stream-only: idle keepalive, payload = last streamed epoch
+)
+
+// defaultSyncBufferBytes bounds one follower tap's backlog (8 MiB ≈ one
+// million buffered edge ops) before the slow-follower policy drops it.
+const defaultSyncBufferBytes = 8 << 20
+
+var (
+	// ErrSlowFollower reports that a follower tap overflowed its buffer
+	// and was dropped; the follower must re-bootstrap with a new sync.
+	ErrSlowFollower = errors.New("persist: follower fell behind, sync dropped")
+	// ErrSyncClosed reports that the manager shut down or persistence
+	// failed while a sync session was live.
+	ErrSyncClosed = errors.New("persist: sync session closed")
+)
+
+// appendU64Record appends one framed single-u64 record (grow / epoch /
+// ping payload shape) to dst.
+func appendU64Record(dst []byte, kind byte, v uint64) []byte {
+	const payloadLen = 9
+	dst = ensureCap(dst, recHeaderSize+payloadLen)
+	hdr := len(dst)
+	dst = dst[:hdr+recHeaderSize+payloadLen]
+	p := dst[hdr+recHeaderSize:]
+	p[0] = kind
+	binary.LittleEndian.PutUint64(p[1:], v)
+	binary.LittleEndian.PutUint32(dst[hdr:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[hdr+4:], crc32.Checksum(p, crcTable))
+	return dst
+}
+
+// SnapshotCRC returns the checksum a follower verifies a received sync
+// snapshot against (the CRC the FULLSYNC header advertises).
+func SnapshotCRC(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// --- tap --------------------------------------------------------------------
+
+// tap is one follower's buffered view of the op stream. The append path
+// (the maintainer's applier goroutine, under Manager.mu) enqueues; the
+// follower's streamer goroutine drains via take-style swaps in
+// SyncSession.Wait. A tap never blocks the appender: when the streamer
+// cannot keep up the tap overflows and dies.
+type tap struct {
+	mu        sync.Mutex
+	buf       []byte
+	spare     []byte        // drained buffer handed back for reuse
+	notify    chan struct{} // capacity 1: "buf went non-empty / tap died"
+	lastEpoch uint64        // epoch of the newest enqueued epoch marker
+	max       int
+	overflow  bool
+	closed    bool
+}
+
+func newTap(max int, epoch uint64) *tap {
+	return &tap{notify: make(chan struct{}, 1), max: max, lastEpoch: epoch}
+}
+
+// enqueue appends one framed record. alive reports whether the tap is
+// still streamable afterwards; droppedNow is true exactly once, on the
+// call that overflowed it.
+func (t *tap) enqueue(rec []byte, epoch uint64, isEpoch bool) (alive, droppedNow bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed || t.overflow {
+		return false, false
+	}
+	if len(t.buf)+len(rec) > t.max {
+		t.overflow = true
+		t.buf = nil
+		t.wakeLocked()
+		return false, true
+	}
+	t.buf = append(t.buf, rec...)
+	if isEpoch {
+		t.lastEpoch = epoch
+	}
+	t.wakeLocked()
+	return true, false
+}
+
+func (t *tap) wakeLocked() {
+	select {
+	case t.notify <- struct{}{}:
+	default:
+	}
+}
+
+// kill closes the tap (manager shutdown, persistence failure, or session
+// Close); any parked Wait wakes with ErrSyncClosed.
+func (t *tap) kill() {
+	t.mu.Lock()
+	t.closed = true
+	t.buf = nil
+	t.spare = nil
+	t.wakeLocked()
+	t.mu.Unlock()
+}
+
+// --- sync session -----------------------------------------------------------
+
+// SyncSession is one follower's live replication feed, returned by
+// Manager.StartSync: the bootstrap snapshot plus the tap carrying every
+// op after it. The caller streams Snapshot first, then loops on Wait,
+// and must Close the session when the connection ends.
+type SyncSession struct {
+	// Gen is the leader's AOF generation at the sync point.
+	Gen uint64
+	// Epoch is the snapshot's epoch: the follower's watermark starts
+	// here, and the tap's first epoch marker is strictly above it.
+	Epoch uint64
+	// Snapshot is the graph binary (graph.WriteBinary) captured at the
+	// sync quiescent point; Crc is SnapshotCRC over it.
+	Snapshot []byte
+	Crc      uint32
+
+	t *tap
+	p *Manager
+}
+
+// Wait blocks until buffered records are available and returns them (a
+// concatenation of framed records, valid until the next Wait call), or
+// returns nil data after timeout with the epoch it is safe to ping the
+// follower at — captured while the buffer was observed empty, so every
+// record up to that epoch has already been handed out. Errors are
+// terminal: ErrSlowFollower (tap overflowed; re-sync) or ErrSyncClosed
+// (manager gone, or cancel fired).
+func (s *SyncSession) Wait(timeout time.Duration, cancel <-chan struct{}) (data []byte, epoch uint64, err error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		tm := time.NewTimer(timeout)
+		defer tm.Stop()
+		deadline = tm.C
+	}
+	t := s.t
+	for {
+		t.mu.Lock()
+		if t.overflow {
+			t.mu.Unlock()
+			return nil, 0, ErrSlowFollower
+		}
+		if t.closed {
+			t.mu.Unlock()
+			return nil, 0, ErrSyncClosed
+		}
+		if len(t.buf) > 0 {
+			data = t.buf
+			t.buf = t.spare[:0]
+			t.spare = data
+			epoch = t.lastEpoch
+			t.mu.Unlock()
+			return data, epoch, nil
+		}
+		idleEpoch := t.lastEpoch
+		t.mu.Unlock()
+		select {
+		case <-t.notify:
+		case <-deadline:
+			return nil, idleEpoch, nil
+		case <-cancel:
+			return nil, 0, ErrSyncClosed
+		}
+	}
+}
+
+// Close detaches the tap from the manager's fan-out. Idempotent.
+func (s *SyncSession) Close() {
+	s.t.kill()
+	s.p.removeTap(s.t)
+}
+
+// StartSync registers a follower tap and captures its bootstrap snapshot
+// at one quiescent point, so the tap's op stream continues exactly where
+// the snapshot ends. The manager must be started and healthy.
+func (p *Manager) StartSync() (*SyncSession, error) {
+	if p.m == nil || !p.started.Load() {
+		return nil, errors.New("persist: not started")
+	}
+	if p.closed.Load() {
+		return nil, ErrSyncClosed
+	}
+	if err := p.Err(); err != nil {
+		return nil, err
+	}
+	var (
+		sess   *SyncSession
+		encErr error
+	)
+	p.m.AtQuiescence(func(q kcore.QuiescentState) {
+		w := newSliceWriter(make([]byte, 0, 1<<20))
+		if err := q.Graph().WriteBinary(w); err != nil {
+			encErr = err
+			return
+		}
+		max := int(p.opts.SyncBufferBytes)
+		if max <= 0 {
+			max = defaultSyncBufferBytes
+		}
+		t := newTap(max, q.Epoch())
+		p.mu.Lock()
+		if p.err != nil || p.closed.Load() {
+			p.mu.Unlock()
+			encErr = ErrSyncClosed
+			return
+		}
+		gen := p.gen
+		p.taps = append(p.taps, t)
+		p.mu.Unlock()
+		p.syncsStarted.Add(1)
+		sess = &SyncSession{
+			Gen:      gen,
+			Epoch:    q.Epoch(),
+			Snapshot: w.b,
+			Crc:      SnapshotCRC(w.b),
+			t:        t,
+			p:        p,
+		}
+	})
+	if encErr != nil {
+		return nil, encErr
+	}
+	return sess, nil
+}
+
+// removeTap drops t from the fan-out list.
+func (p *Manager) removeTap(t *tap) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, x := range p.taps {
+		if x == t {
+			p.taps = append(p.taps[:i], p.taps[i+1:]...)
+			return
+		}
+	}
+}
+
+// fanLocked hands the framed record(s) in rec to every live tap and
+// compacts dead ones out of the list. Caller holds p.mu.
+func (p *Manager) fanLocked(rec []byte, epoch uint64, isEpoch bool) {
+	if len(p.taps) == 0 {
+		return
+	}
+	live := p.taps[:0]
+	for _, t := range p.taps {
+		alive, droppedNow := t.enqueue(rec, epoch, isEpoch)
+		if alive {
+			live = append(live, t)
+			continue
+		}
+		if droppedNow {
+			p.syncDropped.Add(1)
+		}
+	}
+	for i := len(live); i < len(p.taps); i++ {
+		p.taps[i] = nil
+	}
+	p.taps = live
+}
+
+// killTapsLocked closes every tap (shutdown / sticky failure); followers
+// notice and re-sync elsewhere. Caller holds p.mu.
+func (p *Manager) killTapsLocked() {
+	for i, t := range p.taps {
+		t.kill()
+		p.taps[i] = nil
+	}
+	p.taps = p.taps[:0]
+}
+
+// AppendEpoch hands a post-publication epoch marker to the follower taps
+// (kcore.EpochLog). Markers never touch the disk log — recovery derives
+// nothing from epochs — so this is a pure fan-out.
+func (p *Manager) AppendEpoch(epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.taps) == 0 || p.err != nil {
+		return
+	}
+	p.buf = appendU64Record(p.buf[:0], recEpoch, epoch)
+	p.fanLocked(p.buf, epoch, true)
+}
+
+// AppendPing frames one keepalive record carrying epoch into dst — the
+// streamer emits it on an idle Wait so follower watermarks advance and
+// dead links trip read deadlines.
+func AppendPing(dst []byte, epoch uint64) []byte {
+	return appendU64Record(dst, recPing, epoch)
+}
+
+// --- follower-side decoding -------------------------------------------------
+
+// StreamOp is the kind of one decoded replication record.
+type StreamOp byte
+
+const (
+	OpInsert StreamOp = iota
+	OpRemove
+	OpGrow
+	OpEpoch
+	OpPing
+)
+
+// StreamRecord is one decoded replication record. Edges aliases an
+// internal buffer valid until the next Next call.
+type StreamRecord struct {
+	Op    StreamOp
+	Edges []graph.Edge // OpInsert / OpRemove
+	N     int          // OpGrow: absolute target vertex count
+	Epoch uint64       // OpEpoch / OpPing
+}
+
+// StreamReader decodes the framed record stream a follower reads off its
+// sync connection. Unlike crash recovery, which forgives a torn tail,
+// any framing or CRC violation here is an error — the transport is a
+// live TCP stream, so corruption means the connection is garbage and
+// the follower must re-sync.
+type StreamReader struct {
+	r       io.Reader
+	payload []byte
+	edges   []graph.Edge
+}
+
+// NewStreamReader wraps r (typically a bufio.Reader over the sync
+// connection).
+func NewStreamReader(r io.Reader) *StreamReader { return &StreamReader{r: r} }
+
+// Next reads, verifies, and decodes one record. Transport errors (EOF,
+// read deadlines) propagate unwrapped.
+func (sr *StreamReader) Next() (StreamRecord, error) {
+	var hdr [recHeaderSize]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return StreamRecord{}, err
+	}
+	payloadLen := binary.LittleEndian.Uint32(hdr[0:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+	if payloadLen == 0 || payloadLen > maxRecordPayload {
+		return StreamRecord{}, fmt.Errorf("persist: stream record length %d out of range", payloadLen)
+	}
+	if cap(sr.payload) < int(payloadLen) {
+		sr.payload = make([]byte, payloadLen)
+	}
+	p := sr.payload[:payloadLen]
+	if _, err := io.ReadFull(sr.r, p); err != nil {
+		return StreamRecord{}, err
+	}
+	if crc32.Checksum(p, crcTable) != wantCRC {
+		return StreamRecord{}, errors.New("persist: stream record CRC mismatch")
+	}
+	return sr.decode(p)
+}
+
+func (sr *StreamReader) decode(p []byte) (StreamRecord, error) {
+	switch kind := p[0]; kind {
+	case recInsert, recRemove:
+		if len(p) < 5 {
+			return StreamRecord{}, fmt.Errorf("persist: edge record too short (%d bytes)", len(p))
+		}
+		count := binary.LittleEndian.Uint32(p[1:])
+		if uint64(len(p)) != 5+8*uint64(count) {
+			return StreamRecord{}, fmt.Errorf("persist: edge record length %d != header count %d", len(p), count)
+		}
+		sr.edges = sr.edges[:0]
+		o := 5
+		for i := uint32(0); i < count; i++ {
+			u := int32(binary.LittleEndian.Uint32(p[o:]))
+			v := int32(binary.LittleEndian.Uint32(p[o+4:]))
+			o += 8
+			if u < 0 || v < 0 {
+				return StreamRecord{}, fmt.Errorf("persist: negative vertex id (%d,%d)", u, v)
+			}
+			sr.edges = append(sr.edges, graph.Edge{U: u, V: v})
+		}
+		op := OpInsert
+		if kind == recRemove {
+			op = OpRemove
+		}
+		return StreamRecord{Op: op, Edges: sr.edges}, nil
+	case recGrow, recEpoch, recPing:
+		if len(p) != 9 {
+			return StreamRecord{}, fmt.Errorf("persist: u64 record length %d", len(p))
+		}
+		v := binary.LittleEndian.Uint64(p[1:])
+		switch kind {
+		case recGrow:
+			if v > uint64(1)<<31 {
+				return StreamRecord{}, fmt.Errorf("persist: grow to implausible n=%d", v)
+			}
+			return StreamRecord{Op: OpGrow, N: int(v)}, nil
+		case recEpoch:
+			return StreamRecord{Op: OpEpoch, Epoch: v}, nil
+		default:
+			return StreamRecord{Op: OpPing, Epoch: v}, nil
+		}
+	default:
+		return StreamRecord{}, fmt.Errorf("persist: unknown stream record kind %d", p[0])
+	}
+}

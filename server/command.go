@@ -12,7 +12,14 @@ type command struct {
 	minArgs int  // including the command name
 	maxArgs int  // -1 = unbounded
 	write   bool // fans into the update pipeline (reply deferred)
-	fn      func(c *conn, args [][]byte) (quit bool)
+	// blocking commands (CORE.SYNC, CORE.WAIT) may park their connection
+	// indefinitely; a conn shard detaches such a connection to its own
+	// goroutine instead of stalling the whole event loop.
+	blocking bool
+	// denyOnReplica commands mutate the graph; a replica rejects them
+	// with READONLY — its only writer is the leader's op stream.
+	denyOnReplica bool
+	fn            func(c *conn, args [][]byte) (quit bool)
 }
 
 // commands maps the upper-cased wire name to its handler. The table is
@@ -29,13 +36,13 @@ func init() {
 	register(&command{name: "QUIT", minArgs: 1, maxArgs: 1, fn: cmdQuit})
 	register(&command{name: "CORE.GET", minArgs: 2, maxArgs: 2, fn: cmdGet})
 	register(&command{name: "CORE.MGET", minArgs: 2, maxArgs: -1, fn: cmdMGet})
-	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, write: true, fn: cmdInsert})
-	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, write: true, fn: cmdRemove})
+	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdInsert})
+	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdRemove})
 	register(&command{name: "CORE.MAXCORE", minArgs: 1, maxArgs: 1, fn: cmdMaxCore})
 	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 1, fn: cmdHist})
 	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 2, fn: cmdKVert})
 	register(&command{name: "CORE.DEGENERACY", minArgs: 1, maxArgs: 1, fn: cmdDegeneracy})
-	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, fn: cmdGrow})
+	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, denyOnReplica: true, fn: cmdGrow})
 	register(&command{name: "CORE.FLUSH", minArgs: 1, maxArgs: 1, fn: cmdFlush})
 	register(&command{name: "CORE.EPOCH", minArgs: 1, maxArgs: 1, fn: cmdEpoch})
 	register(&command{name: "CORE.N", minArgs: 1, maxArgs: 1, fn: cmdN})
@@ -43,6 +50,8 @@ func init() {
 	register(&command{name: "CORE.STATS", minArgs: 1, maxArgs: 1, fn: cmdStats})
 	register(&command{name: "CORE.BGSAVE", minArgs: 1, maxArgs: 1, fn: cmdBGSave})
 	register(&command{name: "CORE.LASTSAVE", minArgs: 1, maxArgs: 1, fn: cmdLastSave})
+	register(&command{name: "CORE.SYNC", minArgs: 1, maxArgs: 1, blocking: true, fn: cmdSync})
+	register(&command{name: "CORE.WAIT", minArgs: 2, maxArgs: 3, blocking: true, fn: cmdWait})
 }
 
 func cmdPing(c *conn, args [][]byte) bool {
@@ -67,7 +76,7 @@ func cmdGet(c *conn, args [][]byte) bool {
 	if !ok {
 		return false
 	}
-	s := c.srv.m.Snapshot()
+	s := c.srv.mnt().Snapshot()
 	var core int32
 	if int(v) < s.N() {
 		core = s.CoreOf(v)
@@ -79,7 +88,7 @@ func cmdGet(c *conn, args [][]byte) bool {
 // cmdMGet serves CORE.MGET v…: one integer per id, all read off one
 // snapshot, so the reply is mutually consistent.
 func cmdMGet(c *conn, args [][]byte) bool {
-	s := c.srv.m.Snapshot()
+	s := c.srv.mnt().Snapshot()
 	n := int32(s.N())
 	// Validate (and parse once) before writing: an array reply cannot
 	// carry a trailing error without desynchronizing the stream. The id
@@ -113,7 +122,7 @@ func cmdInsert(c *conn, args [][]byte) bool {
 	if !ok {
 		return false
 	}
-	c.pending = append(c.pending, owed{pd: c.srv.m.InsertEdgesAsync(edges), edges: edges})
+	c.pending = append(c.pending, owed{pd: c.srv.mnt().InsertEdgesAsync(edges), edges: edges})
 	return false
 }
 
@@ -124,19 +133,19 @@ func cmdRemove(c *conn, args [][]byte) bool {
 	if !ok {
 		return false
 	}
-	c.pending = append(c.pending, owed{pd: c.srv.m.RemoveEdgesAsync(edges), edges: edges})
+	c.pending = append(c.pending, owed{pd: c.srv.mnt().RemoveEdgesAsync(edges), edges: edges})
 	return false
 }
 
 func cmdMaxCore(c *conn, args [][]byte) bool {
-	c.wr.WriteInt(int64(c.srv.m.MaxCore()))
+	c.wr.WriteInt(int64(c.srv.mnt().MaxCore()))
 	return false
 }
 
 // cmdHist serves CORE.HIST: Hist[k] vertices with core number k, one
 // integer per core value 0..MaxCore.
 func cmdHist(c *conn, args [][]byte) bool {
-	hist := c.srv.m.Snapshot().Histogram()
+	hist := c.srv.mnt().Snapshot().Histogram()
 	c.wr.WriteArrayHeader(len(hist))
 	for _, n := range hist {
 		c.wr.WriteInt(n)
@@ -152,7 +161,7 @@ func cmdKVert(c *conn, args [][]byte) bool {
 		c.writeErrArg("invalid core value", args[1])
 		return false
 	}
-	hist := c.srv.m.Snapshot().Histogram()
+	hist := c.srv.mnt().Snapshot().Histogram()
 	var count int64
 	for cv := max(k, 0); cv < int64(len(hist)); cv++ {
 		count += hist[cv]
@@ -165,7 +174,7 @@ func cmdKVert(c *conn, args [][]byte) bool {
 // recomputed authoritatively at a quiescent point (an O(n+m) barrier
 // command — heavier than CORE.MAXCORE, which reads the snapshot).
 func cmdDegeneracy(c *conn, args [][]byte) bool {
-	deg, _ := c.srv.m.Degeneracy()
+	deg, _ := c.srv.mnt().Degeneracy()
 	c.wr.WriteInt(int64(deg))
 	return false
 }
@@ -178,22 +187,22 @@ func cmdGrow(c *conn, args [][]byte) bool {
 		c.writeErrArg("invalid vertex count", args[1])
 		return false
 	}
-	c.wr.WriteInt(int64(c.srv.m.AddVertices(int(k))))
+	c.wr.WriteInt(int64(c.srv.mnt().AddVertices(int(k))))
 	return false
 }
 
 func cmdFlush(c *conn, args [][]byte) bool {
-	c.wr.WriteInt(int64(c.srv.m.Flush()))
+	c.wr.WriteInt(int64(c.srv.mnt().Flush()))
 	return false
 }
 
 func cmdEpoch(c *conn, args [][]byte) bool {
-	c.wr.WriteInt(int64(c.srv.m.Epoch()))
+	c.wr.WriteInt(int64(c.srv.mnt().Epoch()))
 	return false
 }
 
 func cmdN(c *conn, args [][]byte) bool {
-	c.wr.WriteInt(int64(c.srv.m.N()))
+	c.wr.WriteInt(int64(c.srv.mnt().N()))
 	return false
 }
 
@@ -201,7 +210,7 @@ func cmdN(c *conn, args [][]byte) bool {
 // a fresh decomposition (O(n+m), for tests and operators — the network
 // face of Maintainer.Check).
 func cmdCheck(c *conn, args [][]byte) bool {
-	if err := c.srv.m.Check(); err != nil {
+	if err := c.srv.mnt().Check(); err != nil {
 		c.writeError("ERR check failed: " + err.Error())
 		return false
 	}
@@ -214,11 +223,16 @@ func cmdCheck(c *conn, args [][]byte) bool {
 // counters, so one round trip captures the whole stack's health.
 func cmdStats(c *conn, args [][]byte) bool {
 	ss := c.srv.Stats()
-	ms := c.srv.m.ServingStats()
+	ms := c.srv.mnt().ServingStats()
+	role := "leader"
+	if c.srv.replica != nil {
+		role = "replica"
+	}
 	kv := [][2]string{
-		{"alg", c.srv.m.Algorithm().String()},
-		{"workers", itoa(int64(c.srv.m.Workers()))},
-		{"n", itoa(int64(c.srv.m.N()))},
+		{"role", role},
+		{"alg", c.srv.mnt().Algorithm().String()},
+		{"workers", itoa(int64(c.srv.mnt().Workers()))},
+		{"n", itoa(int64(c.srv.mnt().N()))},
 		{"epoch", itoa(int64(ms.Epoch))},
 		// Network side.
 		{"conns_total", itoa(ss.ConnsTotal)},
@@ -260,6 +274,27 @@ func cmdStats(c *conn, args [][]byte) bool {
 			[2]string{"persist_last_save", itoa(lastSave)},
 			[2]string{"persist_last_save_ms", itoa(ps.LastSaveDuration.Milliseconds())},
 			[2]string{"persist_err", ps.Err},
+			[2]string{"sync_followers", itoa(int64(ps.SyncFollowers))},
+			[2]string{"sync_dropped", itoa(ps.SyncDropped)},
+		)
+	}
+	if rep := c.srv.replica; rep != nil {
+		connected := "0"
+		if rep.connected.Load() {
+			connected = "1"
+		}
+		lastErr := ""
+		if p := rep.lastErr.Load(); p != nil {
+			lastErr = *p
+		}
+		kv = append(kv,
+			[2]string{"replica_of", rep.leader},
+			[2]string{"replica_connected", connected},
+			[2]string{"replica_syncs", itoa(rep.syncs.Load())},
+			[2]string{"replica_records", itoa(rep.records.Load())},
+			[2]string{"replica_edges", itoa(rep.edges.Load())},
+			[2]string{"applied_epoch", itoa(int64(rep.wm.Epoch()))},
+			[2]string{"replica_last_err", lastErr},
 		)
 	}
 	c.wr.WriteArrayHeader(len(kv) * 2)

@@ -56,6 +56,13 @@ type conn struct {
 	out   []byte      // reply bytes the socket wouldn't take yet
 	par   resp.Parser // incremental parser over in
 	flags connFlags
+
+	// A blocking command (CORE.SYNC, CORE.WAIT) reached dispatch on a
+	// conn shard: the shard must detach the connection to a dedicated
+	// goroutine before running it (shard_linux.go). blockedArgs are
+	// deep copies — the originals alias c.in, which compaction reuses.
+	blocked     *command
+	blockedArgs [][]byte
 }
 
 type connFlags uint8
@@ -175,12 +182,30 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 		c.writeErrParts("wrong number of arguments for '", []byte(cmd.name), "'")
 		return false
 	}
+	if cmd.denyOnReplica && c.srv.replica != nil {
+		c.writeError("READONLY replica: write commands must go to the leader")
+		return false
+	}
 	if !cmd.write {
 		// Per-connection read-your-writes: a non-write command must
 		// observe every write this connection pipelined before it.
 		c.drainPending()
 	} else {
 		c.srv.stats.writeCmds.Add(1)
+	}
+	if cmd.blocking && c.shard != nil {
+		// Running a blocking command on the shard's event loop would
+		// stall every connection it multiplexes. Park the command; the
+		// shard detaches the connection to its own goroutine and runs it
+		// there. Blocking commands are non-write, so pending replies
+		// drained above and reply order is preserved. Args must be
+		// copied: they point into c.in, which the shard compacts.
+		c.blocked = cmd
+		c.blockedArgs = c.blockedArgs[:0]
+		for _, a := range args {
+			c.blockedArgs = append(c.blockedArgs, append([]byte(nil), a...))
+		}
+		return false
 	}
 	return cmd.fn(c, args)
 }

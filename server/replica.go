@@ -1,0 +1,255 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/graph"
+	"repro/kcore"
+	"repro/persist"
+	"repro/resp"
+)
+
+// ReplicaOptions configures how a follower rebuilds its maintainer from
+// each leader snapshot.
+type ReplicaOptions struct {
+	Workers     int             // maintainer workers (0 = kcore default)
+	Alg         kcore.Algorithm // maintenance algorithm (zero value = kcore default)
+	MaxVertices int             // vertex ceiling (0 = kcore default)
+	Logger      *log.Logger     // nil = silent
+}
+
+// Replica keeps a Server in follower mode: it bootstraps from a leader's
+// CORE.SYNC snapshot, swaps the rebuilt maintainer into the server, and
+// applies the streamed op tail through the ordinary maintainer API —
+// the same coalescing pipeline the leader ran the ops through. Reads
+// stay lock-free off the local snapshot; write commands are rejected
+// (denyOnReplica); CORE.WAIT blocks on the applied-epoch watermark for
+// read-your-writes.
+//
+// The loop reconnects forever with backoff. Every (re)connect is a full
+// re-bootstrap: the leader's stream has no resume cursor — by design,
+// since a follower that fell behind was dropped precisely because
+// buffering its backlog was unbounded, and a snapshot is cheap next to
+// that backlog.
+type Replica struct {
+	srv    *Server
+	leader string
+	opts   ReplicaOptions
+	wm     *kcore.EpochWatermark
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+
+	connected atomic.Bool
+	syncs     atomic.Int64 // completed bootstraps
+	records   atomic.Int64 // stream records applied (incl. epochs/pings)
+	edges     atomic.Int64 // edges applied through insert/remove records
+	lastErr   atomic.Pointer[string]
+}
+
+// NewReplica puts srv into follower mode, replicating from the leader at
+// leaderAddr ("host:port"). Call Start to begin syncing and Close to
+// stop. Must be called before the server serves traffic.
+func NewReplica(srv *Server, leaderAddr string, opts ReplicaOptions) *Replica {
+	r := &Replica{
+		srv:    srv,
+		leader: leaderAddr,
+		opts:   opts,
+		wm:     kcore.NewEpochWatermark(),
+		quit:   make(chan struct{}),
+	}
+	srv.replica = r
+	return r
+}
+
+// Watermark exposes the applied-epoch watermark (what CORE.WAIT blocks
+// on).
+func (r *Replica) Watermark() *kcore.EpochWatermark { return r.wm }
+
+// Start launches the replication loop.
+func (r *Replica) Start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+// Close stops the replication loop and waits for it to exit. The
+// server keeps serving reads off the last applied state.
+func (r *Replica) Close() {
+	close(r.quit)
+	r.wg.Wait()
+}
+
+func (r *Replica) loop() {
+	defer r.wg.Done()
+	backoff := 250 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		select {
+		case <-r.quit:
+			return
+		default:
+		}
+		start := time.Now()
+		err := r.syncOnce()
+		select {
+		case <-r.quit:
+			return
+		default:
+		}
+		if err != nil {
+			msg := err.Error()
+			r.lastErr.Store(&msg)
+			r.logf("replica: sync from %s: %v (retry in %v)", r.leader, err, backoff)
+		}
+		// A session that streamed for a while earned a fresh backoff.
+		if time.Since(start) > 10*time.Second {
+			backoff = 250 * time.Millisecond
+		}
+		select {
+		case <-r.quit:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// syncOnce runs one full replication session: dial, FULLSYNC handshake,
+// snapshot bootstrap, then the endless tail until the connection breaks
+// or the replica closes. A nil return means the session ended because
+// the replica is shutting down.
+func (r *Replica) syncOnce() error {
+	nc, err := (&net.Dialer{Timeout: 5 * time.Second}).Dial("tcp", r.leader)
+	if err != nil {
+		return err
+	}
+	defer nc.Close()
+	// The tail read blocks in a buffered reader; closing the socket from
+	// a watcher is the only reliable cancel.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-r.quit:
+			nc.Close()
+		case <-done:
+		}
+	}()
+
+	wr := resp.NewWriterSize(nc, 256)
+	wr.WriteCommand("CORE.SYNC")
+	if err := wr.Flush(); err != nil {
+		return err
+	}
+
+	br := bufio.NewReaderSize(nc, 64<<10)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return fmt.Errorf("handshake read: %w", err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	if strings.HasPrefix(line, "-") {
+		return errors.New("leader refused: " + strings.TrimPrefix(line, "-"))
+	}
+	var gen uint64
+	var epoch uint64
+	var snaplen int
+	var crc uint32
+	if _, err := fmt.Sscanf(line, "+FULLSYNC %d %d %d %d", &gen, &epoch, &snaplen, &crc); err != nil {
+		return fmt.Errorf("bad handshake %q: %w", line, err)
+	}
+	if snaplen < 0 || snaplen > 1<<34 {
+		return fmt.Errorf("implausible snapshot length %d", snaplen)
+	}
+
+	snap := make([]byte, snaplen)
+	nc.SetReadDeadline(time.Now().Add(2 * time.Minute))
+	if _, err := io.ReadFull(br, snap); err != nil {
+		return fmt.Errorf("snapshot read: %w", err)
+	}
+	if got := persist.SnapshotCRC(snap); got != crc {
+		return fmt.Errorf("snapshot CRC mismatch: got %08x, want %08x", got, crc)
+	}
+	g, err := graph.ReadBinary(bytes.NewReader(snap))
+	if err != nil {
+		return fmt.Errorf("snapshot decode: %w", err)
+	}
+	snap = nil
+
+	var kopts []kcore.Option
+	if r.opts.Alg != 0 {
+		kopts = append(kopts, kcore.WithAlgorithm(r.opts.Alg))
+	}
+	if r.opts.Workers > 0 {
+		kopts = append(kopts, kcore.WithWorkers(r.opts.Workers))
+	}
+	if r.opts.MaxVertices > 0 {
+		kopts = append(kopts, kcore.WithMaxVertices(r.opts.MaxVertices))
+	}
+	nm := kcore.New(g, kopts...)
+	if old := r.srv.swapMaintainer(nm); old != nil {
+		old.Close() // stays queryable for readers that already loaded it
+	}
+	// Swap-then-Reset: a reader could WAIT between the swap and the Reset
+	// and observe the previous sync's higher epoch for an instant; the
+	// next stream marker restores monotonicity, and bootstraps are rare.
+	r.wm.Reset(epoch)
+	r.syncs.Add(1)
+	r.connected.Store(true)
+	defer r.connected.Store(false)
+	r.lastErr.Store(nil)
+	r.logf("replica: synced gen %d epoch %d from %s (n=%d m=%d)", gen, epoch, r.leader, g.N(), g.M())
+
+	// The tail: apply records through the maintainer synchronously — the
+	// decoded edge slice aliases the stream reader's scratch, and the
+	// synchronous API returns only after the batch applied.
+	sr := persist.NewStreamReader(br)
+	for {
+		// The leader pings ~1s idle; a 5s silence means a dead peer.
+		nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+		rec, err := sr.Next()
+		if err != nil {
+			select {
+			case <-r.quit:
+				return nil
+			default:
+			}
+			return fmt.Errorf("stream: %w", err)
+		}
+		m := r.srv.mnt()
+		switch rec.Op {
+		case persist.OpInsert:
+			m.InsertEdges(rec.Edges)
+			r.edges.Add(int64(len(rec.Edges)))
+		case persist.OpRemove:
+			m.RemoveEdges(rec.Edges)
+			r.edges.Add(int64(len(rec.Edges)))
+		case persist.OpGrow:
+			if rec.N > m.N() {
+				m.AddVertices(rec.N - m.N())
+			}
+		case persist.OpEpoch, persist.OpPing:
+			r.wm.Advance(rec.Epoch)
+		}
+		r.records.Add(1)
+	}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.opts.Logger != nil {
+		r.opts.Logger.Printf(format, args...)
+	}
+}

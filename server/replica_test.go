@@ -1,0 +1,367 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/client"
+	"repro/gen"
+	"repro/graph"
+	"repro/internal/bz"
+	"repro/kcore"
+	"repro/persist"
+)
+
+// startLeaderServer brings up a persistent leader over g.
+func startLeaderServer(t *testing.T, g *graph.Graph, popts persist.Options) (*kcore.Maintainer, string) {
+	t.Helper()
+	mgr, err := persist.NewManager(t.TempDir(), popts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := kcore.New(g, kcore.WithOpLog(mgr), kcore.WithWorkers(2))
+	t.Cleanup(func() { mgr.Close(); m.Close() })
+	if err := mgr.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := startServer(t, m, WithPersistence(mgr))
+	return m, addr
+}
+
+// startReplicaServer brings up a follower of the leader at leaderAddr.
+func startReplicaServer(t *testing.T, leaderAddr string) (*Server, string) {
+	t.Helper()
+	srv := New(kcore.New(graph.New(0), kcore.WithWorkers(2)))
+	rep := NewReplica(srv, leaderAddr, ReplicaOptions{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Maintainer().Close() })
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	t.Cleanup(rep.Close)
+	rep.Start()
+	go srv.Serve(ln)
+	return srv, ln.Addr().String()
+}
+
+// TestReplicationConverges is the e2e contract: two followers of one
+// leader under mixed wire-driven churn (inserts, removes, implicit and
+// explicit growth) converge — after CORE.WAIT on the leader's final
+// epoch, a full MGET sweep on each follower is byte-equal to a fresh
+// decomposition of the leader's final graph.
+func TestReplicationConverges(t *testing.T) {
+	m, leaderAddr := startLeaderServer(t, gen.ErdosRenyi(300, 900, 23),
+		persist.Options{Fsync: persist.FsyncNo})
+	_, addrA := startReplicaServer(t, leaderAddr)
+	_, addrB := startReplicaServer(t, leaderAddr)
+
+	lc := dial(t, leaderAddr)
+	// Mixed churn, pipelined: dense inserts, some removes, an implicit
+	// grow (edge beyond N), an explicit CORE.GROW, then edges into the
+	// grown range.
+	sent := 0
+	for i := 0; i < 200; i++ {
+		if err := lc.Send("CORE.INSERT", i%300, (i*7+1)%300); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	for i := 0; i < 50; i++ {
+		if err := lc.Send("CORE.REMOVE", i%300, (i*7+1)%300); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	lc.Send("CORE.INSERT", 320, 5) // implicit growth
+	sent++
+	if err := lc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < sent; i++ {
+		if _, err := lc.Receive(); err != nil {
+			t.Fatalf("churn reply %d: %v", i, err)
+		}
+	}
+	if _, err := client.Int(lc.Do("CORE.GROW", 400)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 350; i < 399; i++ {
+		if err := lc.Send("CORE.INSERT", i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lc.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 350; i < 399; i++ {
+		if _, err := lc.Receive(); err != nil {
+			t.Fatalf("grown-range insert: %v", err)
+		}
+	}
+	epoch, err := client.Int(lc.Do("CORE.FLUSH"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: a fresh decomposition of the leader's final graph
+	// (stable: all writes flushed, no further churn).
+	want, _ := bz.Decompose(m.Graph().Clone())
+
+	for _, addr := range []string{addrA, addrB} {
+		rc := dial(t, addr)
+		kv := statsMap(t, rc)
+		if kv["role"] != "replica" {
+			t.Fatalf("role = %q, want replica", kv["role"])
+		}
+		applied, err := client.Int(rc.Do("CORE.WAIT", epoch, 15000))
+		if err != nil {
+			t.Fatalf("CORE.WAIT %d on %s: %v", epoch, addr, err)
+		}
+		if applied < epoch {
+			t.Fatalf("CORE.WAIT returned %d < target %d", applied, epoch)
+		}
+		n, err := client.Int(rc.Do("CORE.N"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(n) != len(want) {
+			t.Fatalf("follower %s: N = %d, want %d", addr, n, len(want))
+		}
+		got := sweepCores(t, rc, len(want))
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("follower %s: core[%d] = %d, want %d", addr, v, got[v], want[v])
+			}
+		}
+		// The follower's own invariants hold against a fresh decompose.
+		if s, err := client.String(rc.Do("CORE.CHECK")); err != nil || s != "OK" {
+			t.Fatalf("CORE.CHECK on follower: %q, %v", s, err)
+		}
+	}
+}
+
+// TestWaitReadYourWrites: a client acks a write on the leader, captures
+// the epoch in the same pipeline, WAITs on the follower, reads — the
+// read must observe the write, every round.
+func TestWaitReadYourWrites(t *testing.T) {
+	_, leaderAddr := startLeaderServer(t, gen.ErdosRenyi(100, 300, 29),
+		persist.Options{Fsync: persist.FsyncNo})
+	_, repAddr := startReplicaServer(t, leaderAddr)
+
+	lc := dial(t, leaderAddr)
+	rc := dial(t, repAddr)
+	for i := 0; i < 30; i++ {
+		// A fresh vertex pair each round, so the insert always changes the
+		// read's answer (0 → 1).
+		u, v := 1000+2*i, 1001+2*i
+		if err := lc.Send("CORE.INSERT", u, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := lc.Send("CORE.EPOCH"); err != nil {
+			t.Fatal(err)
+		}
+		if err := lc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Int(lc.Receive()); err != nil {
+			t.Fatalf("round %d insert: %v", i, err)
+		}
+		epoch, err := client.Int(lc.Receive())
+		if err != nil {
+			t.Fatalf("round %d epoch: %v", i, err)
+		}
+		if _, err := client.Int(rc.Do("CORE.WAIT", epoch, 15000)); err != nil {
+			t.Fatalf("round %d CORE.WAIT %d: %v", i, epoch, err)
+		}
+		k, err := client.Int(rc.Do("CORE.GET", u))
+		if err != nil {
+			t.Fatalf("round %d CORE.GET: %v", i, err)
+		}
+		if k < 1 {
+			t.Fatalf("round %d: follower read core[%d] = %d after WAIT %d — stale read", i, u, k, epoch)
+		}
+	}
+}
+
+// TestReplicaRejectsWrites: the write surface is leader-only.
+func TestReplicaRejectsWrites(t *testing.T) {
+	_, leaderAddr := startLeaderServer(t, gen.ErdosRenyi(50, 100, 31),
+		persist.Options{Fsync: persist.FsyncNo})
+	_, repAddr := startReplicaServer(t, leaderAddr)
+	rc := dial(t, repAddr)
+
+	for _, cmd := range [][]any{
+		{"CORE.INSERT", 1, 2},
+		{"CORE.REMOVE", 1, 2},
+		{"CORE.GROW", 100},
+	} {
+		_, err := rc.Do(cmd[0].(string), cmd[1:]...)
+		var se *client.ServerError
+		if !errors.As(err, &se) || !strings.HasPrefix(se.Msg, "READONLY") {
+			t.Fatalf("%v on replica = %v, want READONLY error", cmd[0], err)
+		}
+	}
+	// Reads still work.
+	if _, err := client.Int(rc.Do("CORE.MAXCORE")); err != nil {
+		t.Fatalf("read on replica: %v", err)
+	}
+}
+
+// TestSlowFollowerDroppedOverWire: a follower that stops draining its
+// stream is dropped at the tap (bounded buffer) without stalling the
+// leader's write path.
+func TestSlowFollowerDroppedOverWire(t *testing.T) {
+	m, leaderAddr := startLeaderServer(t, gen.ErdosRenyi(100, 200, 37),
+		persist.Options{Fsync: persist.FsyncNo, SyncBufferBytes: 256})
+
+	// A raw "follower" that sends CORE.SYNC and then never reads.
+	nc, err := net.Dial("tcp", leaderAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if _, err := nc.Write([]byte("*1\r\n$9\r\nCORE.SYNC\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	lc := dial(t, leaderAddr)
+	waitFor := func(cond func(kv map[string]string) bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if cond(statsMap(t, lc)) {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s; stats: %v", what, statsMap(t, lc))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	waitFor(func(kv map[string]string) bool { return kv["sync_followers"] == "1" }, "follower registration")
+
+	// One batch bigger than the whole tap buffer: instant overflow.
+	edges := make([]graph.Edge, 64)
+	for i := range edges {
+		edges[i] = graph.Edge{U: int32(i), V: int32(i + 1)}
+	}
+	m.InsertEdges(edges)
+	m.Flush()
+
+	waitFor(func(kv map[string]string) bool {
+		return kv["sync_followers"] == "0" && kv["sync_dropped"] != "0"
+	}, "slow-follower drop")
+
+	// The leader's serving and write paths are unharmed.
+	if _, err := client.Int(lc.Do("CORE.INSERT", 0, 99)); err != nil {
+		t.Fatalf("leader write after drop: %v", err)
+	}
+	if s, err := client.String(lc.Do("CORE.CHECK")); err != nil || s != "OK" {
+		t.Fatalf("leader CORE.CHECK after drop: %q, %v", s, err)
+	}
+}
+
+// TestReplicaResyncAfterLeaderRestart: a follower whose leader vanishes
+// reconnects with backoff and re-bootstraps from the successor at the
+// same address, ending byte-equal with the new leader's state.
+func TestReplicaResyncAfterLeaderRestart(t *testing.T) {
+	// First leader on a fixed port we can rebind after it dies.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderAddr := ln.Addr().String()
+
+	mgr1, err := persist.NewManager(t.TempDir(), persist.Options{Fsync: persist.FsyncNo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := kcore.New(gen.ErdosRenyi(80, 240, 41), kcore.WithOpLog(mgr1), kcore.WithWorkers(2))
+	if err := mgr1.Start(m1); err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(m1, WithPersistence(mgr1))
+	go srv1.Serve(ln)
+
+	srvR, repAddr := startReplicaServer(t, leaderAddr)
+	rc := dial(t, repAddr)
+	m1.InsertEdge(0, 50)
+	epoch1 := m1.Flush()
+	if _, err := client.Int(rc.Do("CORE.WAIT", int64(epoch1), 15000)); err != nil {
+		t.Fatalf("WAIT on first leader: %v", err)
+	}
+	syncs1 := statsMap(t, rc)["replica_syncs"]
+
+	// Kill the first leader hard.
+	srv1.Close()
+	mgr1.Close()
+	m1.Close()
+
+	// A successor — different graph — takes over the same address.
+	var ln2 net.Listener
+	for i := 0; i < 100; i++ {
+		ln2, err = net.Listen("tcp", leaderAddr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", leaderAddr, err)
+	}
+	mgr2, err := persist.NewManager(t.TempDir(), persist.Options{Fsync: persist.FsyncNo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := kcore.New(gen.ErdosRenyi(120, 360, 43), kcore.WithOpLog(mgr2), kcore.WithWorkers(2))
+	t.Cleanup(func() { mgr2.Close(); m2.Close() })
+	if err := mgr2.Start(m2); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := New(m2, WithPersistence(mgr2))
+	go srv2.Serve(ln2)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv2.Shutdown(ctx)
+	})
+
+	m2.InsertEdge(1, 2)
+	epoch2 := m2.Flush()
+
+	// The follower re-bootstraps on its own; wait for the second sync,
+	// then converge on the successor's state. The watermark was Reset to
+	// the successor's (lower) epoch space, so WAIT epoch2 is meaningful.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		kv := statsMap(t, rc)
+		if kv["replica_connected"] == "1" && kv["replica_syncs"] != syncs1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never re-synced; stats: %v", kv)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if _, err := client.Int(rc.Do("CORE.WAIT", int64(epoch2), 15000)); err != nil {
+		t.Fatalf("WAIT on successor: %v", err)
+	}
+	want, _ := bz.Decompose(m2.Graph().Clone())
+	if n := srvR.Maintainer().N(); n != len(want) {
+		t.Fatalf("follower N = %d, want %d", n, len(want))
+	}
+	got := sweepCores(t, rc, len(want))
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("after re-sync: core[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

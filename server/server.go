@@ -76,10 +76,14 @@ const defaultMaxPipeline = 512
 // Server serves one Maintainer over RESP. Create with New, start with
 // Serve or ListenAndServe, stop with Shutdown (graceful) or Close.
 type Server struct {
-	m           *kcore.Maintainer
+	// m is swappable: a replica re-bootstrapping from a fresh leader
+	// snapshot builds a new maintainer and swaps it in atomically;
+	// readers holding the old one keep serving their snapshot.
+	m           atomic.Pointer[kcore.Maintainer]
 	maxPipeline int
 	connShards  int
 	persist     *persist.Manager
+	replica     *Replica // set by NewReplica before Serve; nil on a leader
 	logger      *log.Logger
 	logSet      bool
 
@@ -88,6 +92,7 @@ type Server struct {
 	conns    map[*conn]struct{}
 	inFlight sync.WaitGroup // one per connection goroutine / shard worker
 	closing  atomic.Bool
+	closeCh  chan struct{} // closed once by beginClose; cancels blocking commands
 	sg       *shardGroup
 
 	stats serveCounters
@@ -126,11 +131,12 @@ type ServeStats struct {
 // the server does not close the maintainer.
 func New(m *kcore.Maintainer, opts ...Option) *Server {
 	s := &Server{
-		m:           m,
 		maxPipeline: defaultMaxPipeline,
 		connShards:  defaultConnShards(),
 		conns:       make(map[*conn]struct{}),
+		closeCh:     make(chan struct{}),
 	}
+	s.m.Store(m)
 	for _, o := range opts {
 		o(s)
 	}
@@ -150,8 +156,18 @@ func (s *Server) Stats() ServeStats {
 	}
 }
 
-// Maintainer returns the maintainer this server fronts.
-func (s *Server) Maintainer() *kcore.Maintainer { return s.m }
+// Maintainer returns the maintainer this server currently fronts (a
+// replica swaps it on re-bootstrap).
+func (s *Server) Maintainer() *kcore.Maintainer { return s.m.Load() }
+
+// mnt is the handler-side accessor; each handler loads it once so one
+// command is served entirely by one maintainer.
+func (s *Server) mnt() *kcore.Maintainer { return s.m.Load() }
+
+// swapMaintainer atomically replaces the served maintainer and returns
+// the previous one (the replica re-sync path). The old maintainer stays
+// fully queryable for handlers that already loaded it.
+func (s *Server) swapMaintainer(nm *kcore.Maintainer) *kcore.Maintainer { return s.m.Swap(nm) }
 
 // Addr returns the listening address, or nil before Serve.
 func (s *Server) Addr() net.Addr {
@@ -292,7 +308,9 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) beginClose() {
-	s.closing.Store(true)
+	if s.closing.CompareAndSwap(false, true) {
+		close(s.closeCh) // wakes blocking commands (CORE.SYNC, CORE.WAIT)
+	}
 	s.mu.Lock()
 	if s.ln != nil {
 		s.ln.Close()

@@ -3,6 +3,8 @@
 package server
 
 import (
+	"bytes"
+	"io"
 	"net"
 	"os"
 	"runtime"
@@ -377,6 +379,18 @@ func (sh *connShard) parseAndDispatch(c *conn) (closed bool) {
 			sh.closeConn(c)
 			return true
 		}
+		if c.blocked != nil {
+			// A blocking command (CORE.SYNC, CORE.WAIT) must not run on
+			// the event loop. Hand the connection — including any not-yet-
+			// parsed pipelined bytes — to a dedicated goroutine.
+			c.in = append(c.in[:0], c.in[off:]...)
+			if c.flags&connDead != 0 {
+				sh.closeConn(c)
+				return true
+			}
+			sh.detach(c)
+			return true
+		}
 	}
 	if off > 0 {
 		c.in = append(c.in[:0], c.in[off:]...)
@@ -507,6 +521,62 @@ func (sh *connShard) writable(c *conn) {
 			sh.pump(c) // input was paused; level-triggered state was dropped
 		}
 	}
+}
+
+// detach migrates a sharded connection to its own goroutine so a parked
+// blocking command cannot stall the event loop. The fd leaves epoll (the
+// runtime netpoller's own registration was never removed, so net.Conn
+// reads and writes still work), buffered reply bytes are handed to the
+// goroutine to write first, and unparsed query bytes are replayed ahead
+// of the socket through the goroutine-mode reader. After the blocking
+// command finishes, the connection simply continues in goroutine mode —
+// it never returns to the shard.
+func (sh *connShard) detach(c *conn) {
+	syscall.EpollCtl(sh.epfd, syscall.EPOLL_CTL_DEL, c.fd, nil)
+	sh.mu.Lock()
+	delete(sh.conns, c.fd)
+	sh.mu.Unlock()
+
+	// Flush replies already owed (earlier commands of this burst) into the
+	// shard sink — direct to the socket, spilling to c.out on EAGAIN. Must
+	// happen before Reset: a bufio Reset discards unflushed bytes.
+	c.wr.Flush()
+	leftoverOut := c.out
+	leftoverIn := c.in
+	c.out, c.in = nil, nil
+	c.shard, c.fd = nil, 0
+	c.flags = 0
+	c.wr.Reset(c.nc)
+	c.rd = resp.NewReaderSize(io.MultiReader(bytes.NewReader(leftoverIn), c.nc), 16<<10)
+	cmd, args := c.blocked, c.blockedArgs
+	c.blocked, c.blockedArgs = nil, nil
+
+	srv := sh.srv
+	srv.inFlight.Add(1)
+	go func() {
+		defer func() {
+			srv.mu.Lock()
+			delete(srv.conns, c)
+			srv.mu.Unlock()
+			srv.stats.connsActive.Add(-1)
+			srv.inFlight.Done()
+			c.nc.Close()
+		}()
+		if len(leftoverOut) > 0 {
+			if _, err := c.nc.Write(leftoverOut); err != nil {
+				return
+			}
+		}
+		if quit := cmd.fn(c, args); quit {
+			c.drainPending()
+			c.wr.Flush()
+			return
+		}
+		if err := c.wr.Flush(); err != nil {
+			return
+		}
+		c.serve()
+	}()
 }
 
 // closeConn releases a sharded connection: epoll drops the fd when the

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/persist"
+)
+
+// syncWriteTimeout bounds any single write to a follower. A follower
+// that stops reading stalls the write until its socket buffer fills;
+// past this deadline the leader abandons the session (the follower
+// re-syncs from scratch when it comes back).
+const syncWriteTimeout = 10 * time.Second
+
+// cmdSync serves CORE.SYNC, the replication bootstrap + stream:
+//
+//	+FULLSYNC <gen> <epoch> <snaplen> <crc>\r\n
+//	<snaplen raw bytes of graph.WriteBinary snapshot>
+//	<endless CRC-framed op records: insert/remove/grow/epoch/ping>
+//
+// The snapshot and the tap are captured at one quiescent point of the
+// maintainer, so the record stream starts exactly where the snapshot
+// ends — no segment replay, no gap, no overlap. After the handshake the
+// connection belongs to the stream until the follower disconnects, the
+// follower falls too far behind (bounded tap overflows), or the server
+// shuts down; it never returns to command dispatch.
+func cmdSync(c *conn, args [][]byte) bool {
+	p := c.srv.persist
+	if p == nil {
+		c.writeError("ERR replication requires persistence (start kcored with -dir)")
+		return false
+	}
+	sess, err := p.StartSync()
+	if err != nil {
+		c.writeError("ERR " + err.Error())
+		return false
+	}
+	defer sess.Close()
+
+	c.wr.WriteSimple(fmt.Sprintf("FULLSYNC %d %d %d %d", sess.Gen, sess.Epoch, len(sess.Snapshot), sess.Crc))
+	if err := c.wr.Flush(); err != nil {
+		return true
+	}
+	// The snapshot bypasses the RESP writer: it is raw bytes, not a
+	// frame, and may be large.
+	c.nc.SetWriteDeadline(time.Now().Add(syncWriteTimeout))
+	if _, err := c.nc.Write(sess.Snapshot); err != nil {
+		return true
+	}
+
+	var pingBuf []byte
+	for {
+		data, epoch, err := sess.Wait(time.Second, c.srv.closeCh)
+		if err != nil {
+			// Slow-follower overflow or shutdown: drop the connection;
+			// the follower notices and re-bootstraps.
+			return true
+		}
+		if data == nil {
+			// Idle: keep the pipe warm and the follower's epoch fresh.
+			pingBuf = persist.AppendPing(pingBuf[:0], epoch)
+			data = pingBuf
+		}
+		c.nc.SetWriteDeadline(time.Now().Add(syncWriteTimeout))
+		if _, err := c.nc.Write(data); err != nil {
+			return true
+		}
+	}
+}
+
+// cmdWait serves CORE.WAIT epoch [timeout-ms]: block until the served
+// epoch reaches the target, then reply with the epoch actually reached.
+// On a replica the served epoch is the applied-stream watermark — the
+// read-your-writes primitive: a client that captured the leader's epoch
+// after an acked write WAITs on the replica before reading. On a leader
+// it waits on the maintainer's published epoch (useful after async
+// writes on another connection). timeout-ms 0 or absent waits until
+// server shutdown.
+func cmdWait(c *conn, args [][]byte) bool {
+	target, ok := parseInt(args[1])
+	if !ok || target < 0 {
+		c.writeErrArg("invalid epoch", args[1])
+		return false
+	}
+	var timeout time.Duration
+	if len(args) == 3 {
+		ms, ok := parseInt(args[2])
+		if !ok || ms < 0 {
+			c.writeErrArg("invalid timeout", args[2])
+			return false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+
+	if rep := c.srv.replica; rep != nil {
+		applied, ok := rep.wm.Wait(uint64(target), timeout, c.srv.closeCh)
+		if !ok {
+			c.writeError("ERR WAIT timed out")
+			return false
+		}
+		c.wr.WriteInt(int64(applied))
+		return false
+	}
+
+	// Leader: the maintainer's epoch has no waiter hook; poll it. WAIT on
+	// a leader is an operator/test convenience, not a hot path.
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	for {
+		if e := c.srv.mnt().Epoch(); e >= uint64(target) {
+			c.wr.WriteInt(int64(e))
+			return false
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			c.writeError("ERR WAIT timed out")
+			return false
+		}
+		select {
+		case <-c.srv.closeCh:
+			c.writeError("ERR WAIT canceled: server shutting down")
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
