@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash examples
+.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash cluster-check examples
 
 all: build vet test
 
@@ -27,7 +27,7 @@ bench:
 # so the zero-allocation command and append paths are tracked alongside
 # throughput.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend' -benchmem -json ./internal/snapshot ./server ./persist > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend|BenchmarkClusterScaling' -benchmem -json ./internal/snapshot ./server ./persist ./cluster > BENCH_serve.json
 
 # Crash-recovery drills: the in-repo kill -9 harness (cmd/kcored's crash
 # test spawns real server processes, so it skips itself under -short),
@@ -40,6 +40,17 @@ crash:
 	$(GO) build -o /tmp/kcored ./cmd/kcored
 	$(GO) run ./cmd/loadserve -recover-check -kcored /tmp/kcored -d 3s
 	$(GO) run ./cmd/loadserve -replica-check -kcored /tmp/kcored -d 3s
+
+# Sharded-cluster drill: loadserve spawns real kcored shard processes
+# running each engine in turn, churns mixed cross-shard traffic through
+# the routing client, and verifies every routed read (full sweep +
+# scatter-gather aggregates) against the cluster oracle.
+cluster-check:
+	$(GO) build -o /tmp/kcored ./cmd/kcored
+	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg parallel -d 2s
+	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg seq -d 2s
+	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg traversal -d 2s
+	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg jes -d 2s
 
 # Example smoke runs: each example builds itself and runs at a small
 # scale, asserting its own verification line (skipped under -short).

@@ -112,6 +112,25 @@ func (c *Conn) Send(cmd string, args ...any) error {
 	return nil
 }
 
+// SendInt32s buffers one command whose arguments are all int32s (vertex
+// ids, edge endpoint pairs) straight off a slice, without boxing each id
+// into an interface the way Send's variadic ...any does. It is the bulk
+// path for chunked CORE.MGET sweeps and multi-pair CORE.INSERT/REMOVE
+// commands — the shapes the cluster router ships per shard.
+func (c *Conn) SendInt32s(cmd string, ids []int32) error {
+	if c.err != nil {
+		return c.err
+	}
+	c.wr.WriteArrayHeader(1 + len(ids))
+	c.wr.WriteBulkString(cmd)
+	var scratch [20]byte
+	for _, id := range ids {
+		c.wr.WriteBulk(strconv.AppendInt(scratch[:0], int64(id), 10))
+	}
+	c.pending++
+	return nil
+}
+
 // Flush writes every buffered command to the network.
 func (c *Conn) Flush() error {
 	if c.err != nil {

@@ -154,3 +154,45 @@ func TestPool(t *testing.T) {
 		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
 	}
 }
+
+// TestSendInt32s pins the bulk pipelining path: a chunk of ids shipped
+// without per-argument boxing behaves exactly like the equivalent Send —
+// one owed reply per command, same server-side semantics.
+func TestSendInt32s(t *testing.T) {
+	addr := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	ids := []int32{0, 1, 2, 3, 199}
+	if err := c.SendInt32s("CORE.MGET", ids); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendInt32s("CORE.INSERT", []int32{300, 301, 301, 302}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Ints(c.Receive())
+	if err != nil {
+		t.Fatalf("MGET reply: %v", err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("MGET returned %d values, want %d", len(got), len(ids))
+	}
+	want, err := client.Ints(c.Do("CORE.MGET", 0, 1, 2, 3, 199))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MGET[%d] = %d via SendInt32s, %d via Send", i, got[i], want[i])
+		}
+	}
+	if k, err := client.Int(c.Do("CORE.GET", 301)); err != nil || k != 1 {
+		t.Fatalf("inserted chain: CORE.GET 301 = %d, %v (want 1)", k, err)
+	}
+}

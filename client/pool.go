@@ -3,6 +3,7 @@ package client
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -26,6 +27,33 @@ type Pool struct {
 	mu     sync.Mutex
 	idle   []idleConn
 	closed bool
+
+	dials    atomic.Int64
+	replaced atomic.Int64
+	inUse    atomic.Int64
+}
+
+// PoolStats is a point-in-time view of a Pool's connection health, the
+// client-side sibling of the server's CORE.STATS connection counters —
+// loadserve and the cluster router report both side by side.
+type PoolStats struct {
+	Dials    int64 // connections ever dialed
+	Replaced int64 // stale idle connections dropped by test-on-borrow
+	InUse    int64 // connections currently borrowed (Get minus Put)
+	Idle     int64 // connections currently parked in the pool
+}
+
+// Stats returns the pool's connection counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	idle := int64(len(p.idle))
+	p.mu.Unlock()
+	return PoolStats{
+		Dials:    p.dials.Load(),
+		Replaced: p.replaced.Load(),
+		InUse:    p.inUse.Load(),
+		Idle:     idle,
+	}
 }
 
 // idleConn stamps a pooled connection with when it went idle.
@@ -65,15 +93,18 @@ func (p *Pool) Get() (*Conn, error) {
 		if pingAfter >= 0 && time.Since(ic.since) > pingAfter {
 			if _, err := ic.c.Do("PING"); err != nil {
 				ic.c.Close()
+				p.replaced.Add(1)
 				continue // stale; try the next idle conn (fresher) or dial
 			}
 		}
+		p.inUse.Add(1)
 		return ic.c, nil
 	}
 	c, err := p.Dial()
 	if err != nil {
 		return nil, err
 	}
+	p.dials.Add(1)
 	// The dial ran outside the lock; Close may have won the race. Handing
 	// the connection out anyway would leak it past Close's sweep.
 	p.mu.Lock()
@@ -83,6 +114,7 @@ func (p *Pool) Get() (*Conn, error) {
 		return nil, ErrPoolClosed
 	}
 	p.mu.Unlock()
+	p.inUse.Add(1)
 	return c, nil
 }
 
@@ -93,6 +125,7 @@ func (p *Pool) Put(c *Conn) {
 	if c == nil {
 		return
 	}
+	p.inUse.Add(-1)
 	if c.Err() != nil || c.pending != 0 {
 		c.Close()
 		return

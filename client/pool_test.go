@@ -176,3 +176,56 @@ func TestPoolConcurrent(t *testing.T) {
 		t.Fatalf("Get after Close = %v, want ErrPoolClosed", err)
 	}
 }
+
+// TestPoolStats pins the connection-health counters: dials count fresh
+// connections, test-on-borrow replacements count stale drops, and
+// in-use/idle track the borrow/return cycle.
+func TestPoolStats(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	stop := startServerOn(t, ln)
+
+	p := &client.Pool{
+		Dial:      func() (*client.Conn, error) { return client.Dial(addr) },
+		PingAfter: time.Nanosecond, // every borrow health-checks
+	}
+	defer p.Close()
+
+	c1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Dials != 2 || st.InUse != 2 || st.Idle != 0 || st.Replaced != 0 {
+		t.Fatalf("after two Gets: %+v", st)
+	}
+	p.Put(c1)
+	p.Put(c2)
+	if st := p.Stats(); st.InUse != 0 || st.Idle != 2 {
+		t.Fatalf("after two Puts: %+v", st)
+	}
+
+	// Kill the server: the next borrow must replace both stale idle
+	// connections and dial a third.
+	stop()
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	startServerOn(t, ln2)
+	c3, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	defer p.Put(c3)
+	st := p.Stats()
+	if st.Replaced != 2 || st.Dials != 3 || st.InUse != 1 {
+		t.Fatalf("after restart borrow: %+v", st)
+	}
+}

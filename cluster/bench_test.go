@@ -1,0 +1,117 @@
+package cluster_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/cluster"
+	"repro/gen"
+	"repro/graph"
+	"repro/kcore"
+	"repro/server"
+)
+
+// BenchmarkClusterScaling measures routed throughput as shards are
+// added, against the same fixed per-shard resource budget (1 engine
+// worker, 1 conn shard per kcored): pipelined write commands through
+// the router's per-shard batching, and read ops through the parallel
+// MGET scatter-gather. On a multi-core host the shard servers run on
+// distinct cores and throughput scales near-linearly with the shard
+// count; on a single-core host the curve is flat (the shards time-slice
+// one CPU) and the benchmark degenerates to a routing-overhead
+// measurement. `make bench-json` records the rows in BENCH_serve.json.
+func BenchmarkClusterScaling(b *testing.B) {
+	const (
+		capacity = 1 << 16
+		batch    = 256
+		crossFr  = 0.05
+	)
+	newCluster := func(b *testing.B, shards int) *cluster.Cluster {
+		b.Helper()
+		addrs := make([][]string, shards)
+		for i := range addrs {
+			m := kcore.New(graph.New(0), kcore.WithWorkers(1))
+			srv := server.New(m, server.WithConnShards(1))
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatalf("listen: %v", err)
+			}
+			go srv.Serve(ln)
+			b.Cleanup(func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+				m.Close()
+			})
+			addrs[i] = []string{ln.Addr().String()}
+		}
+		sm, err := cluster.EqualRanges(capacity, addrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c := cluster.Connect(sm)
+		b.Cleanup(func() { c.Close() })
+		return c
+	}
+	reportOps := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		edges := gen.CrossRangeEdges(capacity, shards, 8192, crossFr, int64(shards))
+
+		b.Run(fmt.Sprintf("shards=%d/write", shards), func(b *testing.B) {
+			c := newCluster(b, shards)
+			b.ResetTimer()
+			cursor, inserting := 0, true
+			for done := 0; done < b.N; {
+				n := min(batch, b.N-done)
+				chunk := edges[cursor : cursor+n]
+				var err error
+				if inserting {
+					err = c.InsertEdges(chunk, nil)
+				} else {
+					err = c.RemoveEdges(chunk, nil)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				done += n
+				cursor += n
+				if cursor+batch > len(edges) {
+					cursor = 0
+					inserting = !inserting // drain what we filled: bounded graph
+				}
+			}
+			reportOps(b)
+		})
+
+		b.Run(fmt.Sprintf("shards=%d/read", shards), func(b *testing.B) {
+			c := newCluster(b, shards)
+			if err := c.InsertEdges(edges, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(shards) * 7))
+			ids := make([]int32, batch)
+			b.ResetTimer()
+			for done := 0; done < b.N; {
+				n := min(batch, b.N-done)
+				for i := range n {
+					ids[i] = rng.Int31n(capacity)
+				}
+				if _, err := c.MGet(ids[:n]); err != nil {
+					b.Fatal(err)
+				}
+				done += n
+			}
+			reportOps(b)
+		})
+	}
+}

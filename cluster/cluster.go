@@ -1,0 +1,553 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+)
+
+// Cluster is the client-side router over a ShardMap: it owns one
+// connection pool per shard leader, routes single-vertex and edge
+// operations to the owning shard(s), batches each burst per shard into
+// pipelined multi-pair commands, and runs the global aggregates as
+// parallel scatter-gather with deterministic merges. It is safe for
+// concurrent use; per-session read-your-writes lives in Session.
+type Cluster struct {
+	m     *ShardMap
+	pools []*client.Pool // leader pool per shard
+	every []int          // cached [0..NumShards)
+
+	// hwm is the cluster vertex universe's high-water mark — the router's
+	// answer to CORE.N. It advances when an insert names a new highest id
+	// or Grow extends the universe; removals naming unseen vertices do
+	// not grow it (matching the engine's drop semantics). It is
+	// router-local state: a fresh router over an existing cluster starts
+	// at the value Connect recovers from the shards' owned bands.
+	hwm atomic.Int64
+
+	chunkPairs int
+}
+
+// Option configures Connect.
+type Option func(*config)
+
+type config struct {
+	maxIdle     int
+	dialTimeout time.Duration
+	chunkPairs  int
+}
+
+// WithMaxIdle bounds each shard pool's idle list (default 8).
+func WithMaxIdle(n int) Option { return func(c *config) { c.maxIdle = n } }
+
+// WithDialTimeout bounds each shard dial (default 5s).
+func WithDialTimeout(d time.Duration) Option { return func(c *config) { c.dialTimeout = d } }
+
+// WithChunkPairs bounds how many edge pairs (or ids) ride in one
+// multi-pair command before the router starts another in the same
+// pipeline (default 4096) — large enough to amortize dispatch, small
+// enough to bound per-command buffers on both ends.
+func WithChunkPairs(n int) Option { return func(c *config) { c.chunkPairs = n } }
+
+// Connect builds a router over the map. Connections are dialed lazily
+// (first use per shard), so Connect itself does no network I/O; the
+// first operation against an unreachable shard surfaces a ShardError.
+func Connect(m *ShardMap, opts ...Option) *Cluster {
+	cfg := config{maxIdle: 8, dialTimeout: 5 * time.Second, chunkPairs: 4096}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c := &Cluster{m: m, chunkPairs: cfg.chunkPairs}
+	c.pools = make([]*client.Pool, m.NumShards())
+	c.every = make([]int, m.NumShards())
+	for i := range c.pools {
+		addr := m.Shard(i).Leader
+		c.pools[i] = &client.Pool{
+			Dial:    func() (*client.Conn, error) { return client.Dial(addr, client.WithDialTimeout(cfg.dialTimeout)) },
+			MaxIdle: cfg.maxIdle,
+		}
+		c.every[i] = i
+	}
+	return c
+}
+
+// Map returns the routing table.
+func (c *Cluster) Map() *ShardMap { return c.m }
+
+// Close closes every shard pool.
+func (c *Cluster) Close() error {
+	for _, p := range c.pools {
+		p.Close()
+	}
+	return nil
+}
+
+// Recover rebuilds the router's universe high-water mark from the
+// shards themselves: the highest globally-existing owned id across all
+// owned bands. A fresh router over a cluster with prior state calls
+// this once (Connect does no I/O); a single long-lived router never
+// needs it.
+func (c *Cluster) Recover() error {
+	tops := make([]int64, c.m.NumShards())
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			n, err := client.Int(conn.Do("CORE.N"))
+			if err != nil {
+				return err
+			}
+			s := c.m.Shard(i)
+			owned := min(n, int64(s.Width()))
+			if owned > 0 {
+				tops[i] = int64(s.Lo) + owned
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for _, t := range tops {
+		c.advanceHWM(t)
+	}
+	return nil
+}
+
+func (c *Cluster) advanceHWM(n int64) {
+	for {
+		cur := c.hwm.Load()
+		if n <= cur || c.hwm.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// N returns the cluster vertex-universe size (the high-water mark).
+func (c *Cluster) N() int64 { return c.hwm.Load() }
+
+// checkEdges validates that every endpoint is routable.
+func (c *Cluster) checkEdges(edges []graph.Edge) error {
+	for _, e := range edges {
+		if !c.m.InRange(e.U) || !c.m.InRange(e.V) {
+			return fmt.Errorf("cluster: edge (%d,%d) outside id capacity %d", e.U, e.V, c.m.Cap())
+		}
+	}
+	return nil
+}
+
+// routeEdges groups a burst into per-shard flattened local-id pair
+// buffers: an intra-shard edge lands once on its owner; a cross-shard
+// edge lands on both owners, the remote endpoint translated through the
+// deterministic mirror mapping so both shards see it — and so the
+// matching remove routes to the same local pair with no shared state.
+func (c *Cluster) routeEdges(edges []graph.Edge) [][]int32 {
+	bufs := make([][]int32, c.m.NumShards())
+	for _, e := range edges {
+		a, b := c.m.Owner(e.U), c.m.Owner(e.V)
+		bufs[a] = append(bufs[a], c.m.LocalFor(a, e.U), c.m.LocalFor(a, e.V))
+		if b != a {
+			bufs[b] = append(bufs[b], c.m.LocalFor(b, e.U), c.m.LocalFor(b, e.V))
+		}
+	}
+	return bufs
+}
+
+// InsertEdges routes one write burst: each edge to its owning shard(s),
+// each shard's share as chunked multi-pair CORE.INSERTs in a single
+// pipelined flush with a trailing CORE.EPOCH (the covering epoch is how
+// sessions get read-your-writes for free). Shards are written in
+// parallel. If epochs is non-nil (len NumShards), each written shard's
+// covering epoch is stored there.
+func (c *Cluster) InsertEdges(edges []graph.Edge, epochs []uint64) error {
+	if err := c.checkEdges(edges); err != nil {
+		return err
+	}
+	for _, e := range edges {
+		if n := int64(max(e.U, e.V)) + 1; n > c.hwm.Load() {
+			c.advanceHWM(n)
+		}
+	}
+	return c.writeRouted("CORE.INSERT", c.routeEdges(edges), epochs)
+}
+
+// RemoveEdges routes one removal burst the same way (removals of absent
+// edges are dropped by the engine and never grow the universe).
+func (c *Cluster) RemoveEdges(edges []graph.Edge, epochs []uint64) error {
+	if err := c.checkEdges(edges); err != nil {
+		return err
+	}
+	return c.writeRouted("CORE.REMOVE", c.routeEdges(edges), epochs)
+}
+
+// writeRouted ships per-shard pair buffers: one pooled connection per
+// touched shard, the buffer as chunked multi-pair commands plus a
+// CORE.EPOCH, one flush, all replies received in order.
+func (c *Cluster) writeRouted(cmd string, bufs [][]int32, epochs []uint64) error {
+	var touched []int
+	for i, b := range bufs {
+		if len(b) > 0 {
+			touched = append(touched, i)
+		}
+	}
+	if len(touched) == 0 {
+		return nil
+	}
+	chunk := 2 * c.chunkPairs
+	return c.scatter(touched, func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			buf := bufs[i]
+			sent := 0
+			for off := 0; off < len(buf); off += chunk {
+				end := min(off+chunk, len(buf))
+				if err := conn.SendInt32s(cmd, buf[off:end]); err != nil {
+					return err
+				}
+				sent++
+			}
+			if err := conn.Send("CORE.EPOCH"); err != nil {
+				return err
+			}
+			if err := conn.Flush(); err != nil {
+				return err
+			}
+			for range sent {
+				if _, err := conn.Receive(); err != nil {
+					return err
+				}
+			}
+			e, err := client.Int(conn.Receive())
+			if err != nil {
+				return err
+			}
+			if epochs != nil {
+				epochs[i] = uint64(e)
+			}
+			return nil
+		})
+	})
+}
+
+// Grow extends the cluster universe to at least n vertices: each shard
+// whose owned band intersects [0, n) is grown to cover its share, and
+// the high-water mark advances. Returns the new cluster N.
+func (c *Cluster) Grow(n int32) (int64, error) {
+	if n < 0 || int64(n) > int64(c.m.Cap()) {
+		return 0, fmt.Errorf("cluster: grow %d outside id capacity %d", n, c.m.Cap())
+	}
+	err := c.scatter(c.allShards(), func(i int) error {
+		s := c.m.Shard(i)
+		wantLocal := min(max(n-s.Lo, 0), s.Width())
+		if wantLocal == 0 {
+			return nil
+		}
+		return c.withLeader(i, func(conn *client.Conn) error {
+			have, err := client.Int(conn.Do("CORE.N"))
+			if err != nil {
+				return err
+			}
+			if delta := int64(wantLocal) - have; delta > 0 {
+				if _, err := client.Int(conn.Do("CORE.GROW", delta)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	c.advanceHWM(int64(n))
+	return c.N(), nil
+}
+
+// Get returns the core number of global vertex g — a single routed read
+// on the owning shard.
+func (c *Cluster) Get(g int32) (int32, error) {
+	if !c.m.InRange(g) {
+		return 0, fmt.Errorf("cluster: vertex %d outside id capacity %d", g, c.m.Cap())
+	}
+	i := c.m.Owner(g)
+	var k int64
+	err := c.scatter([]int{i}, func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			var err error
+			k, err = client.Int(conn.Do("CORE.GET", c.m.Local(i, g)))
+			return err
+		})
+	})
+	return int32(k), err
+}
+
+// MGet returns the core numbers of the given global vertex ids, in
+// input order: ids are grouped by owning shard, each shard's share runs
+// as chunked CORE.MGETs in one pipelined flush, shards in parallel, and
+// the replies are scattered back into input positions.
+func (c *Cluster) MGet(ids []int32) ([]int32, error) {
+	locals := make([][]int32, c.m.NumShards())
+	positions := make([][]int, c.m.NumShards())
+	for pos, g := range ids {
+		if !c.m.InRange(g) {
+			return nil, fmt.Errorf("cluster: vertex %d outside id capacity %d", g, c.m.Cap())
+		}
+		i := c.m.Owner(g)
+		locals[i] = append(locals[i], c.m.Local(i, g))
+		positions[i] = append(positions[i], pos)
+	}
+	out := make([]int32, len(ids))
+	var touched []int
+	for i := range locals {
+		if len(locals[i]) > 0 {
+			touched = append(touched, i)
+		}
+	}
+	err := c.scatter(touched, func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			return mgetInto(conn, locals[i], c.chunkPairs, func(j int, k int32) {
+				out[positions[i][j]] = k
+			})
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// mgetInto runs one shard's CORE.MGET share — chunked, one flush — and
+// hands each core number to sink with its index in locals.
+func mgetInto(conn *client.Conn, locals []int32, chunkIDs int, sink func(j int, k int32)) error {
+	sent, err := mgetSend(conn, locals, chunkIDs)
+	if err != nil {
+		return err
+	}
+	if err := conn.Flush(); err != nil {
+		return err
+	}
+	return mgetRecv(conn, sent, len(locals), sink)
+}
+
+// mgetSend buffers one shard's CORE.MGET share as chunked commands
+// (no flush) and returns how many replies will be owed.
+func mgetSend(conn *client.Conn, locals []int32, chunkIDs int) (int, error) {
+	sent := 0
+	for off := 0; off < len(locals); off += chunkIDs {
+		end := min(off+chunkIDs, len(locals))
+		if err := conn.SendInt32s("CORE.MGET", locals[off:end]); err != nil {
+			return 0, err
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// mgetRecv receives the owed CORE.MGET replies and feeds each core
+// number to sink with its running index.
+func mgetRecv(conn *client.Conn, sent, want int, sink func(j int, k int32)) error {
+	j := 0
+	for range sent {
+		ks, err := client.Ints(conn.Receive())
+		if err != nil {
+			return err
+		}
+		for _, k := range ks {
+			sink(j, int32(k))
+			j++
+		}
+	}
+	if j != want {
+		return fmt.Errorf("cluster: CORE.MGET returned %d values for %d ids", j, want)
+	}
+	return nil
+}
+
+// Hist returns the cluster core-number histogram: bin k counts vertices
+// with (per-shard-local) core number k across the universe [0, N).
+//
+// Each shard reports its owned band only (CORE.HIST 0 W — mirrors are
+// the owning shard's business) alongside its CORE.N; the bins merge by
+// element-wise sum. Bin 0 is then compensated by N − Σ min(N_i, W_i):
+// universe ids that exist on no shard (holes under the high-water mark)
+// are isolated by construction, and owned-band vertices a shard grew
+// beyond the cluster N (mirror-band growth pulling the owned band
+// along) are isolated too — both differ from a single-node oracle only
+// in bin 0, by exactly that count.
+func (c *Cluster) Hist() ([]int64, error) {
+	n := c.m.NumShards()
+	hists := make([][]int64, n)
+	existing := make([]int64, n)
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			w := c.m.Shard(i).Width()
+			if err := conn.Send("CORE.HIST", 0, w); err != nil {
+				return err
+			}
+			if err := conn.Send("CORE.N"); err != nil {
+				return err
+			}
+			if err := conn.Flush(); err != nil {
+				return err
+			}
+			h, err := client.Ints(conn.Receive())
+			if err != nil {
+				return err
+			}
+			ni, err := client.Int(conn.Receive())
+			if err != nil {
+				return err
+			}
+			hists[i] = h
+			existing[i] = min(ni, int64(w))
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := []int64{0}
+	var sum int64
+	for i := range hists {
+		for k, v := range hists[i] {
+			for k >= len(merged) {
+				merged = append(merged, 0)
+			}
+			merged[k] += v
+		}
+		sum += existing[i]
+	}
+	merged[0] += c.N() - sum
+	// Trim trailing zero bins a compensated merge can leave (e.g. a
+	// shard's owned band shrank to isolated vertices after removals).
+	for len(merged) > 1 && merged[len(merged)-1] == 0 {
+		merged = merged[:len(merged)-1]
+	}
+	return merged, nil
+}
+
+// MaxCore returns the cluster's maximum core number: the max across
+// shards. A shard's CORE.MAXCORE covers its mirrors too, but mirrors
+// form an independent set in the shard-local graph, so any k-core
+// containing one also contains owned vertices of core ≥ k — a shard's
+// max is always attained in its owned band, and max-merge is exact.
+func (c *Cluster) MaxCore() (int32, error) {
+	return c.maxAgg("CORE.MAXCORE")
+}
+
+// Degeneracy is MaxCore under its graph-theory name.
+func (c *Cluster) Degeneracy() (int32, error) {
+	return c.maxAgg("CORE.DEGENERACY")
+}
+
+func (c *Cluster) maxAgg(cmd string) (int32, error) {
+	vals := make([]int64, c.m.NumShards())
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			var err error
+			vals[i], err = client.Int(conn.Do(cmd))
+			return err
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	var mx int64
+	for _, v := range vals {
+		mx = max(mx, v)
+	}
+	return int32(mx), nil
+}
+
+// KVert counts vertices with core number ≥ k: for k ≤ 0 every universe
+// vertex qualifies (holes are core-0 vertices, so only N answers this
+// exactly); for k ≥ 1 the per-shard owned-band counts sum.
+func (c *Cluster) KVert(k int32) (int64, error) {
+	if k <= 0 {
+		return c.N(), nil
+	}
+	counts := make([]int64, c.m.NumShards())
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			var err error
+			counts[i], err = client.Int(conn.Do("CORE.KVERT", k, 0, c.m.Shard(i).Width()))
+			return err
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, v := range counts {
+		sum += v
+	}
+	return sum, nil
+}
+
+// EpochVector is one epoch per shard, indexed by shard.
+type EpochVector []uint64
+
+// Flush forces every shard to publish its pending writes and returns
+// the per-shard epoch vector of the published state.
+func (c *Cluster) Flush() (EpochVector, error) {
+	ev := make(EpochVector, c.m.NumShards())
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			e, err := client.Int(conn.Do("CORE.FLUSH"))
+			if err != nil {
+				return err
+			}
+			ev[i] = uint64(e)
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ev, nil
+}
+
+// Check runs CORE.CHECK on every shard (full recompute vs served cores)
+// and fails with a ShardError if any shard disagrees with itself.
+func (c *Cluster) Check() error {
+	return c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			s, err := client.String(conn.Do("CORE.CHECK"))
+			if err != nil {
+				return err
+			}
+			if s != "OK" {
+				return fmt.Errorf("CORE.CHECK: %s", s)
+			}
+			return nil
+		})
+	})
+}
+
+// ShardStats pairs one shard's server stats with the router's
+// client-side pool counters for it.
+type ShardStats struct {
+	Shard  int
+	Addr   string
+	Server map[string]string // CORE.STATS
+	Pool   client.PoolStats
+}
+
+// Stats gathers CORE.STATS from every shard leader plus the per-shard
+// pool counters.
+func (c *Cluster) Stats() ([]ShardStats, error) {
+	out := make([]ShardStats, c.m.NumShards())
+	err := c.scatter(c.allShards(), func(i int) error {
+		return c.withLeader(i, func(conn *client.Conn) error {
+			m, err := client.StringMap(conn.Do("CORE.STATS"))
+			if err != nil {
+				return err
+			}
+			out[i] = ShardStats{Shard: i, Addr: c.m.Shard(i).Leader, Server: m, Pool: c.pools[i].Stats()}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/client"
+)
+
+// ShardError marks a cluster operation that failed on one shard. Ops
+// touching only other shards' ranges are unaffected — an outage takes
+// down its id range, not the cluster — so callers can route around it
+// or surface which band is dark.
+type ShardError struct {
+	Shard int    // shard index in the ShardMap
+	Addr  string // endpoint the failing op used
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// AsShardError unwraps err to a *ShardError if one is in its chain.
+func AsShardError(err error) (*ShardError, bool) {
+	var se *ShardError
+	ok := errors.As(err, &se)
+	return se, ok
+}
+
+// scatter runs fn(i) concurrently for every shard index in shards and
+// joins the failures, each wrapped as a ShardError carrying the shard's
+// leader address. One slow or dead shard never blocks the others from
+// making progress; the caller sees every failure, not just the first.
+func (c *Cluster) scatter(shards []int, fn func(shard int) error) error {
+	if len(shards) == 1 {
+		// The common single-shard case (routed op, or a one-shard map)
+		// skips the goroutine round trip entirely.
+		return c.wrapShardErr(shards[0], fn(shards[0]))
+	}
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for k, i := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[k] = c.wrapShardErr(i, fn(i))
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// allShards returns [0, 1, …, NumShards−1] (cached; read-only).
+func (c *Cluster) allShards() []int { return c.every }
+
+func (c *Cluster) wrapShardErr(shard int, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *ShardError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &ShardError{Shard: shard, Addr: c.m.Shard(shard).Leader, Err: err}
+}
+
+// withLeader borrows a pooled leader connection to shard i, runs fn,
+// and returns the connection to the pool.
+func (c *Cluster) withLeader(i int, fn func(conn *client.Conn) error) error {
+	conn, err := c.pools[i].Get()
+	if err != nil {
+		return err
+	}
+	defer c.pools[i].Put(conn)
+	return fn(conn)
+}

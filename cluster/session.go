@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/client"
+	"repro/graph"
+)
+
+// Session layers cross-shard read-your-writes over a Cluster: every
+// write captures the covering epoch of each shard it touched (the
+// router pipelines CORE.EPOCH into the write flush, so this costs no
+// extra round trip), and every read is gated by a pipelined CORE.WAIT
+// on that epoch against the session's pinned read endpoint for the
+// shard. With replicas in the map, reads scale out to followers without
+// ever observing state older than the session's own writes — the
+// replication layer's ReplicaSession contract, lifted to a shard
+// vector.
+//
+// A Session pins one read connection per shard (the first replica if
+// the shard has any, else the leader), dialed lazily. It is not safe
+// for concurrent use — sessions are per-goroutine, like connections.
+type Session struct {
+	c *Cluster
+	// WaitTimeout bounds each read-side CORE.WAIT (0 = wait until the
+	// endpoint catches up or disconnects).
+	WaitTimeout time.Duration
+
+	epochs []uint64 // per shard: highest epoch covering this session's writes
+	waited []uint64 // per shard: highest epoch the read endpoint proved applied
+	reads  []*client.Conn
+}
+
+// NewSession starts a read-your-writes session over the cluster.
+func (c *Cluster) NewSession() *Session {
+	n := c.m.NumShards()
+	return &Session{
+		c:      c,
+		epochs: make([]uint64, n),
+		waited: make([]uint64, n),
+		reads:  make([]*client.Conn, n),
+	}
+}
+
+// Close releases the session's pinned read connections.
+func (s *Session) Close() error {
+	for i, conn := range s.reads {
+		if conn != nil {
+			conn.Close()
+			s.reads[i] = nil
+		}
+	}
+	return nil
+}
+
+// ReadAddr returns the endpoint shard i's reads are pinned to.
+func (s *Session) ReadAddr(i int) string {
+	sh := s.c.m.Shard(i)
+	if len(sh.Replicas) > 0 {
+		return sh.Replicas[0]
+	}
+	return sh.Leader
+}
+
+func (s *Session) readConn(i int) (*client.Conn, error) {
+	if s.reads[i] != nil && s.reads[i].Err() == nil {
+		return s.reads[i], nil
+	}
+	if s.reads[i] != nil {
+		s.reads[i].Close()
+		// Re-dialing resets the connection, not the session's epoch
+		// bookkeeping: waited[i] tracks the *server's* applied watermark,
+		// which survives our reconnect.
+	}
+	conn, err := client.Dial(s.ReadAddr(i), client.WithDialTimeout(5*time.Second))
+	if err != nil {
+		s.reads[i] = nil
+		return nil, err
+	}
+	s.reads[i] = conn
+	return conn, nil
+}
+
+func (s *Session) recordEpochs(ev []uint64) {
+	for i, e := range ev {
+		if e > s.epochs[i] {
+			s.epochs[i] = e
+		}
+	}
+}
+
+// InsertEdges routes a write burst and records each touched shard's
+// covering epoch.
+func (s *Session) InsertEdges(edges []graph.Edge) error {
+	ev := make([]uint64, len(s.epochs))
+	err := s.c.InsertEdges(edges, ev)
+	s.recordEpochs(ev)
+	return err
+}
+
+// RemoveEdges routes a removal burst and records covering epochs.
+func (s *Session) RemoveEdges(edges []graph.Edge) error {
+	ev := make([]uint64, len(s.epochs))
+	err := s.c.RemoveEdges(edges, ev)
+	s.recordEpochs(ev)
+	return err
+}
+
+// sendGate pipelines the CORE.WAIT gate for shard i if its read
+// endpoint has not yet proved it applied this session's writes there.
+// Returns whether a gate reply is owed.
+func (s *Session) sendGate(i int, conn *client.Conn) (bool, error) {
+	if s.epochs[i] <= s.waited[i] {
+		return false, nil
+	}
+	var err error
+	if s.WaitTimeout > 0 {
+		ms := max(int64(s.WaitTimeout/time.Millisecond), 1)
+		err = conn.Send("CORE.WAIT", s.epochs[i], ms)
+	} else {
+		err = conn.Send("CORE.WAIT", s.epochs[i])
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Get reads global vertex g's core number from the owning shard's
+// pinned read endpoint, gated so it observes this session's writes.
+func (s *Session) Get(g int32) (int32, error) {
+	out, err := s.MGet([]int32{g})
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// MGet reads core numbers in input order from each owning shard's
+// pinned read endpoint, every per-shard pipeline led by its CORE.WAIT
+// gate: gate, chunked CORE.MGETs, one flush — the gate costs no extra
+// round trip. Shards run sequentially over the session's own pinned
+// connections (a session is single-caller by contract; its scatter
+// parallelism lives in the Cluster's pooled paths).
+func (s *Session) MGet(ids []int32) ([]int32, error) {
+	c := s.c
+	locals := make([][]int32, c.m.NumShards())
+	positions := make([][]int, c.m.NumShards())
+	for pos, g := range ids {
+		if !c.m.InRange(g) {
+			return nil, fmt.Errorf("cluster: vertex %d outside id capacity %d", g, c.m.Cap())
+		}
+		i := c.m.Owner(g)
+		locals[i] = append(locals[i], c.m.Local(i, g))
+		positions[i] = append(positions[i], pos)
+	}
+	out := make([]int32, len(ids))
+	for i := range locals {
+		if len(locals[i]) == 0 {
+			continue
+		}
+		if err := s.readShard(i, locals[i], func(j int, k int32) {
+			out[positions[i][j]] = k
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// readShard runs one shard's gated MGET pipeline: WAIT gate (if owed),
+// chunked CORE.MGETs, flush, gate reply, value replies.
+func (s *Session) readShard(i int, locals []int32, sink func(j int, k int32)) error {
+	conn, err := s.readConn(i)
+	if err != nil {
+		return s.c.wrapShardErr(i, err)
+	}
+	gated, err := s.sendGate(i, conn)
+	if err != nil {
+		return s.c.wrapShardErr(i, err)
+	}
+	sent, err := mgetSend(conn, locals, s.c.chunkPairs)
+	if err != nil {
+		return s.c.wrapShardErr(i, err)
+	}
+	if err := conn.Flush(); err != nil {
+		return s.c.wrapShardErr(i, err)
+	}
+	if gated {
+		if _, err := client.Int(conn.Receive()); err != nil {
+			// Timed-out WAIT: the MGET replies behind it may be stale, and
+			// the client poisons the conn only on transport errors — drop
+			// the connection so the next read starts clean.
+			conn.Close()
+			return s.c.wrapShardErr(i, err)
+		}
+		s.waited[i] = s.epochs[i]
+	}
+	if err := mgetRecv(conn, sent, len(locals), sink); err != nil {
+		return s.c.wrapShardErr(i, err)
+	}
+	return nil
+}
+
+// Wait is the cross-shard read-your-writes barrier: it blocks until
+// every shard's pinned read endpoint has applied this session's writes
+// (CORE.WAIT on each shard where an epoch is still owed). After Wait,
+// any connection to the session's read endpoints — not just this
+// session's — observes the writes.
+func (s *Session) Wait() error {
+	for i := range s.epochs {
+		if s.epochs[i] <= s.waited[i] {
+			continue
+		}
+		conn, err := s.readConn(i)
+		if err != nil {
+			return s.c.wrapShardErr(i, err)
+		}
+		gated, err := s.sendGate(i, conn)
+		if err != nil {
+			return s.c.wrapShardErr(i, err)
+		}
+		if !gated {
+			continue
+		}
+		if err := conn.Flush(); err != nil {
+			return s.c.wrapShardErr(i, err)
+		}
+		if _, err := client.Int(conn.Receive()); err != nil {
+			conn.Close()
+			return s.c.wrapShardErr(i, err)
+		}
+		s.waited[i] = s.epochs[i]
+	}
+	return nil
+}

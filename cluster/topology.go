@@ -1,0 +1,73 @@
+// Package cluster scales the kcored serving stack past one process by
+// id-range sharding: N independent kcored shards each own a contiguous
+// band of the global vertex-id space, a client-side router sends every
+// write to the shard(s) that own its endpoints, and global reads run as
+// parallel scatter-gather with deterministic merges. There is no
+// coordinator process — the topology is static configuration, the
+// router is a library, and each shard is a stock kcored (optionally
+// with its own replicas from the replication layer).
+//
+// # Sharding model
+//
+// A ShardMap splits the global id space [0, Cap) into contiguous ranges
+// [Lo_i, Hi_i); shard i stores its owned vertices at local ids
+// [0, Hi_i−Lo_i) (global g ↦ g−Lo_i). A cross-shard edge (u, v) is
+// applied on both owning shards, with the remote endpoint mirrored into
+// a reserved local band by a deterministic, stateless mapping (see
+// ShardMap.MirrorLocal) — so any router instance, with no shared state,
+// routes the insert and the matching remove to the same local ids.
+//
+// # Core-number semantics
+//
+// Each shard maintains core numbers over its local graph: its owned
+// band plus the mirrored boundary of cross-shard edges. Mirroring a
+// one-hop boundary cannot reproduce exact global core numbers — a
+// triangle split across two shards degrades to a path on each, and no
+// finite-hop extension closes the gap (a long cycle defeats any fixed
+// horizon). Cluster reads therefore serve *per-shard-local* core
+// numbers: a lower bound on the global core number, exact whenever no
+// cross-shard edge touches the vertex's component (and in particular
+// exact for a router configured so related vertices land on one shard).
+// The Oracle type is the executable specification of these semantics;
+// the conformance suite holds every served value byte-equal to it.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseTopology parses the textual shard topology shared by the router,
+// loadserve, and operator tooling:
+//
+//	leader[,replica...][;leader[,replica...]]...
+//
+// Shards are ';'-separated; within a shard the first address is the
+// leader and any further ','-separated addresses are its read replicas.
+// A single "leader,replica" group (no ';') is the replication layer's
+// classic single-shard form, so one grammar serves both. Whitespace
+// around addresses is ignored; empty groups and empty addresses are
+// errors.
+func ParseTopology(s string) ([][]string, error) {
+	groups := strings.Split(s, ";")
+	out := make([][]string, 0, len(groups))
+	for gi, group := range groups {
+		parts := strings.Split(group, ",")
+		addrs := make([]string, 0, len(parts))
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p == "" {
+				return nil, fmt.Errorf("cluster: empty address in shard %d of topology %q", gi, s)
+			}
+			addrs = append(addrs, p)
+		}
+		if len(addrs) == 0 {
+			return nil, fmt.Errorf("cluster: empty shard %d in topology %q", gi, s)
+		}
+		out = append(out, addrs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty topology")
+	}
+	return out, nil
+}

@@ -1,0 +1,205 @@
+package main
+
+// The -cluster-check mode: an end-to-end sharded-cluster drill runnable
+// from the command line (part of `make cluster-check`). loadserve
+// spawns -shards private kcoreds running the chosen engine, splits an
+// id space evenly across them, and churns randomized mixed traffic —
+// multi-pair inserts with a -cross fraction of cross-shard boundary
+// edges, removals of live and never-inserted edges, explicit growth —
+// through the routing client while mirroring every acked op into the
+// cluster Oracle. It then verifies every routed read against the
+// Oracle: the full CORE.MGET sweep, point gets, and each scatter-gather
+// aggregate, finishing with CORE.CHECK on every shard.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/client"
+	"repro/cluster"
+	"repro/gen"
+	"repro/graph"
+)
+
+type clusterCheckConfig struct {
+	kcored   string
+	shards   int
+	alg      string
+	cross    float64
+	duration time.Duration
+	batch    int
+	seed     int64
+}
+
+func clusterCheckRun(cfg clusterCheckConfig) {
+	if cfg.kcored == "" {
+		log.Fatalf("loadserve: -cluster-check needs -kcored <path-to-binary> (build with: go build -o kcored ./cmd/kcored)")
+	}
+	if cfg.shards < 2 {
+		log.Fatalf("loadserve: -cluster-check needs -shards >= 2, got %d", cfg.shards)
+	}
+	const capacity = 4096
+
+	addrs := make([][]string, cfg.shards)
+	procs := make([]*exec.Cmd, cfg.shards)
+	defer func() {
+		for i := range procs {
+			killProc(&procs[i])
+		}
+	}()
+	for i := range addrs {
+		addr := fmt.Sprintf("127.0.0.1:%d", mustFreePort())
+		procs[i] = spawnKcoredShard(cfg.kcored, addr, cfg.alg)
+		addrs[i] = []string{addr}
+	}
+
+	m, err := cluster.EqualRanges(capacity, addrs)
+	if err != nil {
+		log.Fatalf("loadserve: %v", err)
+	}
+	c := cluster.Connect(m)
+	defer c.Close()
+	o := cluster.NewOracle(m)
+	fmt.Printf("cluster-check: %d shards (alg=%s), capacity %d, cross=%.2f\n",
+		cfg.shards, cfg.alg, capacity, cfg.cross)
+
+	// Acked churn through the router, mirrored into the Oracle. Every
+	// call returns only after all touched shards acked, so router and
+	// Oracle stay in lockstep.
+	rng := rand.New(rand.NewSource(cfg.seed))
+	pool := gen.CrossRangeEdges(capacity, cfg.shards, 20_000, cfg.cross, cfg.seed+1)
+	batch := max(cfg.batch, 8)
+	var inserted []graph.Edge
+	bursts := 0
+	deadline := time.Now().Add(cfg.duration)
+	for off := 0; time.Now().Before(deadline); off += batch {
+		if off+batch > len(pool) {
+			off = 0
+		}
+		chunk := pool[off : off+batch]
+		if err := c.InsertEdges(chunk, nil); err != nil {
+			log.Fatalf("loadserve: routed insert: %v", err)
+		}
+		for _, e := range chunk {
+			o.ApplyInsert(e.U, e.V)
+		}
+		inserted = append(inserted, chunk...)
+		bursts++
+		switch rng.Intn(4) {
+		case 0: // remove a random sample of what exists
+			rm := make([]graph.Edge, 0, batch/4)
+			for range cap(rm) {
+				rm = append(rm, inserted[rng.Intn(len(inserted))])
+			}
+			if err := c.RemoveEdges(rm, nil); err != nil {
+				log.Fatalf("loadserve: routed remove: %v", err)
+			}
+			for _, e := range rm {
+				o.ApplyRemove(e.U, e.V)
+			}
+		case 1: // explicit growth
+			n := int32(rng.Intn(capacity)) + 1
+			if _, err := c.Grow(n); err != nil {
+				log.Fatalf("loadserve: routed grow: %v", err)
+			}
+			o.Grow(n)
+		}
+	}
+	if _, err := c.Flush(); err != nil {
+		log.Fatalf("loadserve: cluster flush: %v", err)
+	}
+	fmt.Printf("churned %d bursts (oracle: n=%d m=%d)\n", bursts, o.N(), o.M())
+
+	// Full routed sweep against the Oracle.
+	want := o.Cores()
+	ids := make([]int32, o.N())
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	got, err := c.MGet(ids)
+	if err != nil {
+		log.Fatalf("loadserve: routed sweep: %v", err)
+	}
+	for g := range ids {
+		if got[g] != want[g] {
+			log.Fatalf("loadserve: routed core(%d) = %d, oracle %d", g, got[g], want[g])
+		}
+	}
+	fmt.Printf("sweep: all %d routed core numbers match the cluster oracle\n", len(ids))
+
+	// Every scatter-gather aggregate.
+	if c.N() != o.N() {
+		log.Fatalf("loadserve: cluster N = %d, oracle %d", c.N(), o.N())
+	}
+	hist, err := c.Hist()
+	if err != nil {
+		log.Fatalf("loadserve: routed hist: %v", err)
+	}
+	wantHist := o.Hist()
+	if len(hist) != len(wantHist) {
+		log.Fatalf("loadserve: hist has %d bins, oracle %d", len(hist), len(wantHist))
+	}
+	for k := range hist {
+		if hist[k] != wantHist[k] {
+			log.Fatalf("loadserve: hist[%d] = %d, oracle %d", k, hist[k], wantHist[k])
+		}
+	}
+	mx, err := c.MaxCore()
+	if err != nil || mx != o.MaxCore() {
+		log.Fatalf("loadserve: maxcore = %d, %v; oracle %d", mx, err, o.MaxCore())
+	}
+	for _, k := range []int32{0, 1, mx, mx + 1} {
+		n, err := c.KVert(k)
+		if err != nil || n != o.KVert(k) {
+			log.Fatalf("loadserve: kvert(%d) = %d, %v; oracle %d", k, n, err, o.KVert(k))
+		}
+	}
+	if err := c.Check(); err != nil {
+		log.Fatalf("loadserve: %v", err)
+	}
+	sts, err := c.Stats()
+	if err != nil {
+		log.Fatalf("loadserve: cluster stats: %v", err)
+	}
+	for _, st := range sts {
+		fmt.Printf("shard %d (%s): n=%s cmds=%s | pool dials=%d replaced=%d idle=%d\n",
+			st.Shard, st.Addr, st.Server["n"], st.Server["commands"],
+			st.Pool.Dials, st.Pool.Replaced, st.Pool.Idle)
+	}
+	fmt.Printf("aggregates: hist/maxcore/degeneracy/kvert/n all match; CORE.CHECK ok on %d shards\n", cfg.shards)
+	fmt.Println("cluster-check: PASS")
+}
+
+// spawnKcoredShard boots one ephemeral shard server (no durability —
+// the drill's truth lives in the Oracle) and waits for it to serve.
+func spawnKcoredShard(bin, addr, alg string) *exec.Cmd {
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-alg", alg,
+		"-quiet",
+	)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatalf("loadserve: start shard %s: %v", bin, err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := client.Dial(addr, client.WithDialTimeout(time.Second))
+		if err == nil {
+			_, perr := c.Do("PING")
+			c.Close()
+			if perr == nil {
+				return cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			log.Fatalf("loadserve: shard kcored on %s never came up", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

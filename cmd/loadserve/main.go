@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/cluster"
 	"repro/gen"
 	"repro/graph"
 	"repro/internal/stats"
@@ -49,11 +50,14 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		check    = flag.Bool("check", false, "verify invariants after the run")
 		churn    = flag.Bool("churn", false, "add a vertex-churn writer: arrival batches on fresh ids (auto-grow) + partial removal")
-		netAddr  = flag.String("net", "", "drive a live kcored server over TCP instead of an in-process maintainer: \"leader[,replica,...]\" — writes go to the leader, reads round-robin over listed replicas (-n/-m/-alg/-workers/-churn are the server's business then)")
+		netAddr  = flag.String("net", "", "drive live kcored server(s) over TCP instead of an in-process maintainer: \"leader[,replica,...]\" for one shard, or \"leader[,replica...];leader...\" for an id-range sharded cluster routed through the cluster client (-n is then the cluster id capacity; -m/-alg/-workers/-churn are the servers' business)")
 		pipeline = flag.Int("pipeline", 16, "pipeline depth per network reader (-net mode)")
+		cross    = flag.Float64("cross", 0.2, "cross-shard edge fraction for multi-shard write traffic (-net cluster mode, -cluster-check)")
 		recCheck = flag.Bool("recover-check", false, "crash-recovery drill: spawn a private kcored (-kcored), drive an acked burst, kill -9 mid-burst, restart, verify served cores against a single-node oracle")
 		repCheck = flag.Bool("replica-check", false, "replication drill: spawn a durable leader + follower (-kcored), kill -9 the leader mid-run, restart it, verify the follower re-syncs to the acked-mirror oracle")
-		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check / -replica-check modes)")
+		cluCheck = flag.Bool("cluster-check", false, "sharded-cluster drill: spawn -shards kcoreds (-kcored), churn mixed cross-shard traffic through the router, verify every routed read against the cluster oracle")
+		shards   = flag.Int("shards", 2, "shard count for -cluster-check")
+		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check / -replica-check / -cluster-check modes)")
 	)
 	flag.Parse()
 
@@ -77,9 +81,47 @@ func main() {
 		return
 	}
 
+	if *cluCheck {
+		clusterCheckRun(clusterCheckConfig{
+			kcored:   *kcored,
+			shards:   *shards,
+			alg:      *algName,
+			cross:    *cross,
+			duration: *duration,
+			batch:    *batch,
+			seed:     *seed,
+		})
+		return
+	}
+
 	if *netAddr != "" {
+		// One grammar for every topology: "leader[,replica...]" drives a
+		// single shard (writes to the leader, reads over the replicas);
+		// ';'-separated groups drive an id-range sharded cluster through
+		// the routing client.
+		topo, err := cluster.ParseTopology(*netAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadserve: -net: %v\n", err)
+			os.Exit(2)
+		}
+		if len(topo) > 1 {
+			clusterNetRun(clusterNetConfig{
+				topology: topo,
+				capacity: int32(*n),
+				readers:  *readers,
+				writers:  *writers,
+				batch:    *batch,
+				pipeline: *pipeline,
+				cross:    *cross,
+				duration: *duration,
+				seed:     *seed,
+				check:    *check,
+			})
+			return
+		}
 		netRun(netConfig{
-			addr:     *netAddr,
+			leader:   topo[0][0],
+			replicas: topo[0][1:],
 			readers:  *readers,
 			writers:  *writers,
 			batch:    *batch,

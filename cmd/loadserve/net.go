@@ -23,7 +23,8 @@ import (
 )
 
 type netConfig struct {
-	addr     string // leader address, optionally followed by ,replica,...
+	leader   string   // leader address (writes)
+	replicas []string // optional read replicas
 	readers  int
 	writers  int
 	batch    int // edges per pipelined write flight
@@ -34,12 +35,12 @@ type netConfig struct {
 }
 
 func netRun(cfg netConfig) {
-	// "-net leader[,replica,...]": writes always go to the first address;
-	// with replicas listed, readers round-robin across the replicas — the
-	// read-scaling topology — and -check adds a convergence sweep.
-	addrs := strings.Split(cfg.addr, ",")
-	leaderAddr := addrs[0]
-	replicaAddrs := addrs[1:]
+	// Writes always go to the leader; with replicas listed, readers
+	// round-robin across the replicas — the read-scaling topology — and
+	// -check adds a convergence sweep. (main parses the shared topology
+	// grammar; this mode is the single-shard group.)
+	leaderAddr := cfg.leader
+	replicaAddrs := cfg.replicas
 	newPool := func(addr string) *client.Pool {
 		return &client.Pool{
 			Dial:    func() (*client.Conn, error) { return client.Dial(addr, client.WithDialTimeout(5*time.Second)) },
@@ -241,6 +242,9 @@ func netRun(cfg netConfig) {
 	fmt.Printf("publish: full=%s delta=%s unchanged=%s grow=%s dirty-pages=%s epoch=%d n=%s\n",
 		st["full_publishes"], st["delta_publishes"], st["unchanged_publishes"],
 		st["grow_publishes"], st["dirty_pages"], epoch, st["n"])
+	ps := pool.Stats()
+	fmt.Printf("client pool (leader): dials=%d replaced=%d in-use=%d idle=%d\n",
+		ps.Dials, ps.Replaced, ps.InUse, ps.Idle)
 
 	if cfg.check {
 		if s, err := client.String(cc.Do("CORE.CHECK")); err != nil || s != "OK" {

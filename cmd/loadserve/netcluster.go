@@ -1,0 +1,182 @@
+package main
+
+// The -net cluster mode: when the topology names several ';'-separated
+// shard groups, the same closed-loop experiment drives the whole
+// id-range sharded cluster through the routing client — writers push
+// mixed intra-/cross-shard edge batches (insert a chunk, remove it
+// again, so the cluster stays invariant-clean for -check), readers
+// sweep random ids through the parallel MGET scatter-gather with
+// periodic global aggregates mixed in. At the end it prints per-shard
+// server stats next to the router's pool counters.
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/cluster"
+	"repro/gen"
+	"repro/internal/stats"
+)
+
+type clusterNetConfig struct {
+	topology [][]string // parsed shard groups: leader first, then replicas
+	capacity int32      // cluster id capacity (ranges split evenly)
+	readers  int
+	writers  int
+	batch    int     // edges per routed write burst
+	pipeline int     // ids per routed read burst
+	cross    float64 // cross-shard edge fraction in write traffic
+	duration time.Duration
+	seed     int64
+	check    bool
+}
+
+func clusterNetRun(cfg clusterNetConfig) {
+	m, err := cluster.EqualRanges(cfg.capacity, cfg.topology)
+	if err != nil {
+		log.Fatalf("loadserve: %v", err)
+	}
+	c := cluster.Connect(m)
+	defer c.Close()
+	if err := c.Recover(); err != nil {
+		log.Fatalf("loadserve: cluster bootstrap: %v", err)
+	}
+	fmt.Printf("driving %d-shard cluster (capacity %d, recovered n=%d):\n", m.NumShards(), m.Cap(), c.N())
+	for i := range m.NumShards() {
+		s := m.Shard(i)
+		fmt.Printf("  shard %d: [%d, %d) leader %s", i, s.Lo, s.Hi, s.Leader)
+		if len(s.Replicas) > 0 {
+			fmt.Printf(" replicas %v", s.Replicas)
+		}
+		fmt.Println()
+	}
+
+	var (
+		stop     atomic.Bool
+		readOps  atomic.Int64
+		writeOps atomic.Int64
+		errCount atomic.Int64
+		readLat  = stats.NewLatencyRecorder(1 << 16)
+		writeLat = stats.NewLatencyRecorder(1 << 16)
+		wg       sync.WaitGroup
+	)
+
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 100 + int64(r)))
+			ids := make([]int32, cfg.pipeline)
+			for i := 0; !stop.Load(); i++ {
+				start := time.Now()
+				var err error
+				ops := int64(1)
+				switch {
+				case i%512 == 511:
+					_, err = c.Hist()
+				case i%64 == 63:
+					_, err = c.MaxCore()
+				default:
+					for p := range ids {
+						ids[p] = rng.Int31n(cfg.capacity)
+					}
+					_, err = c.MGet(ids)
+					ops = int64(len(ids))
+				}
+				if err != nil {
+					errCount.Add(1)
+					log.Printf("reader %d: %v", r, err)
+					return
+				}
+				readOps.Add(ops)
+				if i%4 == 0 {
+					readLat.Record(time.Since(start))
+				}
+			}
+		}(r)
+	}
+
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Each writer cycles insert/remove over its own cross-range
+			// edge pool: every burst does real multi-shard maintenance work
+			// while the cluster's graph stays bounded. (Pools may overlap
+			// across writers; duplicate inserts and double removes are
+			// dropped by the engines, which keeps every shard consistent.)
+			pool := gen.CrossRangeEdges(cfg.capacity, m.NumShards(), cfg.batch*64, cfg.cross,
+				cfg.seed+500+int64(w))
+			flight := func(insert bool, off int) bool {
+				chunk := pool[off : off+cfg.batch]
+				start := time.Now()
+				var err error
+				if insert {
+					err = c.InsertEdges(chunk, nil)
+				} else {
+					err = c.RemoveEdges(chunk, nil)
+				}
+				if err != nil {
+					errCount.Add(1)
+					log.Printf("writer %d: %v", w, err)
+					return false
+				}
+				writeOps.Add(int64(len(chunk)))
+				writeLat.Record(time.Since(start))
+				return true
+			}
+			for off := 0; !stop.Load(); off += cfg.batch {
+				if off+cfg.batch > len(pool) {
+					off = 0
+				}
+				if !flight(true, off) {
+					return
+				}
+				if !flight(false, off) {
+					return
+				}
+				if stop.Load() {
+					return
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if _, err := c.Flush(); err != nil {
+		log.Fatalf("loadserve: cluster flush: %v", err)
+	}
+	secs := elapsed.Seconds()
+	fmt.Printf("\nran %.2fs over %d shards: readers=%d writers=%d batch=%d pipeline=%d cross=%.2f errors=%d\n",
+		secs, m.NumShards(), cfg.readers, cfg.writers, cfg.batch, cfg.pipeline, cfg.cross, errCount.Load())
+	fmt.Printf("reads : %10d ops  %12.0f ops/s  burst latency(ms) %s\n",
+		readOps.Load(), float64(readOps.Load())/secs, readLat.Percentiles())
+	fmt.Printf("writes: %10d edge-cmds  %12.0f ops/s  burst latency(ms) %s\n",
+		writeOps.Load(), float64(writeOps.Load())/secs, writeLat.Percentiles())
+	sts, err := c.Stats()
+	if err != nil {
+		log.Fatalf("loadserve: cluster stats: %v", err)
+	}
+	for _, st := range sts {
+		fmt.Printf("shard %d (%s): n=%s cmds=%s (writes=%s) batches=%s pipeline p50=%s | pool dials=%d replaced=%d in-use=%d idle=%d\n",
+			st.Shard, st.Addr, st.Server["n"], st.Server["commands"], st.Server["write_cmds"],
+			st.Server["batches"], st.Server["pipeline_p50"],
+			st.Pool.Dials, st.Pool.Replaced, st.Pool.InUse, st.Pool.Idle)
+	}
+
+	if cfg.check {
+		if err := c.Check(); err != nil {
+			log.Fatalf("loadserve: cluster check failed: %v", err)
+		}
+		fmt.Printf("invariants: ok (CORE.CHECK on all %d shards)\n", m.NumShards())
+	}
+}

@@ -287,3 +287,49 @@ func SampleNonEdges(g *graph.Graph, k int, seed int64) []graph.Edge {
 	}
 	return out
 }
+
+// CrossRangeEdges samples m distinct edges over a universe of capacity
+// ids split into `shards` equal contiguous ranges — the workload shape
+// of an id-range sharded cluster. An expected crossFrac fraction of the
+// edges span two different ranges (cluster boundary edges, mirrored on
+// both owners); the rest stay inside one range. crossFrac 0 yields a
+// perfectly partitionable stream, 1 an all-boundary one.
+func CrossRangeEdges(capacity int32, shards int, m int, crossFrac float64, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	w, extra := capacity/int32(shards), capacity%int32(shards)
+	lo := func(i int32) int32 {
+		base := i * w
+		return base + min(i, extra)
+	}
+	pick := func(i int32) int32 {
+		width := w
+		if i < extra {
+			width++
+		}
+		return lo(i) + rng.Int31n(width)
+	}
+	edges := make([]graph.Edge, 0, m)
+	seen := make(map[graph.Edge]bool, m)
+	for len(edges) < m {
+		a := rng.Int31n(int32(shards))
+		u := pick(a)
+		b := a
+		if shards > 1 && rng.Float64() < crossFrac {
+			b = rng.Int31n(int32(shards) - 1)
+			if b >= a {
+				b++
+			}
+		}
+		v := pick(b)
+		if u == v {
+			continue
+		}
+		e := graph.Edge{U: u, V: v}.Norm()
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		edges = append(edges, e)
+	}
+	return edges
+}

@@ -236,3 +236,32 @@ func TestQuickGeneratorsConsistent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCrossRangeEdges(t *testing.T) {
+	const capacity, shards, m = 1200, 3, 4000
+	owner := func(g int32) int32 { return g / (capacity / shards) }
+	for _, frac := range []float64{0, 0.3, 1} {
+		edges := CrossRangeEdges(capacity, shards, m, frac, 42)
+		if len(edges) != m {
+			t.Fatalf("frac %v: %d edges, want %d", frac, len(edges), m)
+		}
+		seen := map[graph.Edge]bool{}
+		cross := 0
+		for _, e := range edges {
+			if e.U == e.V || e.U < 0 || e.V >= capacity {
+				t.Fatalf("bad edge %v", e)
+			}
+			if seen[e.Norm()] {
+				t.Fatalf("duplicate edge %v", e)
+			}
+			seen[e.Norm()] = true
+			if owner(e.U) != owner(e.V) {
+				cross++
+			}
+		}
+		got := float64(cross) / m
+		if got < frac-0.05 || got > frac+0.05 {
+			t.Fatalf("frac %v: observed cross fraction %v", frac, got)
+		}
+	}
+}

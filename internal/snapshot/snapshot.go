@@ -85,6 +85,73 @@ func (v *View) ForEachPage(fn func(start int32, page []int32)) {
 	}
 }
 
+// HistRangeInto computes the core histogram of the id range [lo, hi) —
+// hist[k] = vertices in the range with core number k — appending into
+// dst[:0] so repeat callers pay no allocation once the bin slice is warm.
+// The range is clamped to [0, N); the result always has at least one bin
+// and its last bin is nonzero unless only bin 0 is populated, matching
+// Hist's shape. This is the owned-band primitive of the cluster's
+// scatter-gather aggregates: a shard restricted to its owned id range
+// reports a histogram that excludes its mirror band, so the router's
+// bin-wise sum counts every vertex exactly once. O(hi-lo) page scans.
+func (v *View) HistRangeInto(dst []int64, lo, hi int32) []int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > v.N {
+		hi = int32(v.N)
+	}
+	dst = append(dst[:0], 0)
+	for u := lo; u < hi; {
+		pg := v.pages[u>>PageBits]
+		end := (u &^ pageMask) + int32(len(pg))
+		if end > hi {
+			end = hi
+		}
+		for ; u < end; u++ {
+			c := pg[u&pageMask]
+			for int(c) >= len(dst) {
+				dst = append(dst, 0)
+			}
+			dst[c]++
+		}
+	}
+	return dst
+}
+
+// CountCoresAtLeast counts the vertices in the id range [lo, hi) with
+// core number >= k (k <= 0 counts every existing vertex of the range).
+// The range is clamped to [0, N). O(hi-lo), allocation-free — the
+// range-restricted CORE.KVERT the cluster router sums across shards.
+func (v *View) CountCoresAtLeast(k, lo, hi int32) int64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if int(hi) > v.N {
+		hi = int32(v.N)
+	}
+	if hi <= lo {
+		return 0
+	}
+	if k <= 0 {
+		return int64(hi - lo)
+	}
+	var count int64
+	for u := lo; u < hi; {
+		pg := v.pages[u>>PageBits]
+		end := (u &^ pageMask) + int32(len(pg))
+		if end > hi {
+			end = hi
+		}
+		for ; u < end; u++ {
+			if pg[u&pageMask] >= k {
+				count++
+			}
+		}
+	}
+	return count
+}
+
 // VertexCore names one vertex of a batch's changed set V* together with
 // its post-batch core number. The pre-batch value is not needed: the
 // publisher reads it from the page being patched.

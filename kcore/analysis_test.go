@@ -139,3 +139,71 @@ func TestRemoveIsolatedVertexNoop(t *testing.T) {
 		t.Fatal("second removal must be a no-op")
 	}
 }
+
+// TestHistogramRange pins the range-restricted aggregate surface against
+// brute force over random graphs: for random [lo, hi) windows (clamped,
+// inverted, and beyond-N included), HistogramRange bins and
+// CountCoresAtLeast counts must match a direct scan of the core array.
+func TestHistogramRange(t *testing.T) {
+	m := New(gen.ErdosRenyi(3000, 12000, 7))
+	defer m.Close()
+	s := m.Snapshot()
+	cores := s.CoreNumbers()
+	n := int32(s.N())
+
+	windows := [][2]int32{
+		{0, n}, {0, 0}, {n, n}, {100, 100}, {0, 1}, {n - 1, n},
+		{500, 1500}, {1023, 1025}, {1024, 2048}, // page boundaries
+		{2900, n + 500}, {-5, 40}, {2000, 1000}, // clamped / inverted
+	}
+	for _, w := range windows {
+		lo, hi := w[0], w[1]
+		clo, chi := max(lo, 0), min(hi, n)
+		want := []int64{0}
+		var existing int64
+		for v := clo; v < chi; v++ {
+			c := cores[v]
+			for int(c) >= len(want) {
+				want = append(want, 0)
+			}
+			want[c]++
+			existing++
+		}
+		got := s.HistogramRange(lo, hi)
+		if len(got) != len(want) {
+			t.Fatalf("HistogramRange(%d,%d) has %d bins, want %d", lo, hi, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("HistogramRange(%d,%d)[%d] = %d, want %d", lo, hi, k, got[k], want[k])
+			}
+		}
+		for _, k := range []int32{-1, 0, 1, 2, 3, 100} {
+			var wantCount int64
+			if k <= 0 {
+				wantCount = existing
+			} else {
+				for v := clo; v < chi; v++ {
+					if cores[v] >= k {
+						wantCount++
+					}
+				}
+			}
+			if got := s.CountCoresAtLeast(k, lo, hi); got != wantCount {
+				t.Fatalf("CountCoresAtLeast(%d,%d,%d) = %d, want %d", k, lo, hi, got, wantCount)
+			}
+		}
+	}
+
+	// Whole-graph consistency: the [0, N) range histogram is the Histogram.
+	whole := s.Histogram()
+	ranged := s.HistogramRange(0, n)
+	if len(whole) != len(ranged) {
+		t.Fatalf("range [0,N) has %d bins, Histogram has %d", len(ranged), len(whole))
+	}
+	for k := range whole {
+		if whole[k] != ranged[k] {
+			t.Fatalf("bin %d: range %d, Histogram %d", k, ranged[k], whole[k])
+		}
+	}
+}

@@ -708,6 +708,29 @@ func (s Snapshot) MaxCore() int32 { return s.v.MaxCore }
 // shared and read-only.
 func (s Snapshot) Histogram() []int64 { return s.v.Hist }
 
+// HistogramRange computes the core histogram restricted to the id range
+// [lo, hi), clamped to [0, N) — hist[k] counts the range's vertices with
+// core number k. An O(hi-lo) scan of the paged view (Histogram is the
+// O(1) whole-graph read). This is the owned-band aggregate a sharded
+// cluster sums bin-wise: restricted to a shard's owned id range it
+// excludes the mirror band, so merged bins count each vertex once.
+func (s Snapshot) HistogramRange(lo, hi int32) []int64 {
+	return s.v.HistRangeInto(nil, lo, hi)
+}
+
+// HistogramRangeInto is HistogramRange appending into dst[:0], for
+// callers that aggregate repeatedly and hold a bin buffer.
+func (s Snapshot) HistogramRangeInto(dst []int64, lo, hi int32) []int64 {
+	return s.v.HistRangeInto(dst, lo, hi)
+}
+
+// CountCoresAtLeast counts vertices in the id range [lo, hi), clamped to
+// [0, N), whose core number is at least k (k <= 0 counts every existing
+// vertex of the range) — the range-restricted CORE.KVERT.
+func (s Snapshot) CountCoresAtLeast(k, lo, hi int32) int64 {
+	return s.v.CountCoresAtLeast(k, lo, hi)
+}
+
 // Decompose computes core numbers from scratch with the linear-time BZ
 // algorithm — the static building block, usable without a Maintainer.
 func Decompose(g *graph.Graph) []int32 {

@@ -130,8 +130,8 @@ type Stats struct {
 	LastSave           time.Time     // completion time of the last checkpoint
 	LastSaveDuration   time.Duration // wall time of the last checkpoint
 	Fsync              Fsync
-	SyncFollowers      int   // live replication follower taps
-	SyncDropped        int64 // follower taps dropped by the slow-follower policy (lifetime)
+	SyncFollowers      int    // live replication follower taps
+	SyncDropped        int64  // follower taps dropped by the slow-follower policy (lifetime)
 	Err                string // sticky append/checkpoint error ("" = healthy)
 }
 
@@ -514,8 +514,8 @@ func (p *Manager) Stats() Stats {
 	gen, opsSince, followers := p.gen, p.opsSince, len(p.taps)
 	p.mu.Unlock()
 	s := Stats{
-		SyncFollowers: followers,
-		SyncDropped:   p.syncDropped.Load(),
+		SyncFollowers:      followers,
+		SyncDropped:        p.syncDropped.Load(),
 		Gen:                gen,
 		Records:            p.records.Load(),
 		AppendedBytes:      p.appendedBytes.Load(),

@@ -39,8 +39,8 @@ func init() {
 	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdInsert})
 	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdRemove})
 	register(&command{name: "CORE.MAXCORE", minArgs: 1, maxArgs: 1, fn: cmdMaxCore})
-	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 1, fn: cmdHist})
-	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 2, fn: cmdKVert})
+	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 3, fn: cmdHist})
+	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 4, fn: cmdKVert})
 	register(&command{name: "CORE.DEGENERACY", minArgs: 1, maxArgs: 1, fn: cmdDegeneracy})
 	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, denyOnReplica: true, fn: cmdGrow})
 	register(&command{name: "CORE.FLUSH", minArgs: 1, maxArgs: 1, fn: cmdFlush})
@@ -142,10 +142,32 @@ func cmdMaxCore(c *conn, args [][]byte) bool {
 	return false
 }
 
-// cmdHist serves CORE.HIST: Hist[k] vertices with core number k, one
-// integer per core value 0..MaxCore.
+// cmdHist serves CORE.HIST [lo hi]: Hist[k] vertices with core number k,
+// one integer per core value 0..MaxCore. Without arguments it is the
+// whole-graph histogram, an O(MaxCore) snapshot read; with an id range
+// [lo, hi) (clamped to the universe) it is an O(hi-lo) scan restricted
+// to that range — the form a cluster router uses to aggregate a shard's
+// owned id band without counting its mirror band.
 func cmdHist(c *conn, args [][]byte) bool {
-	hist := c.srv.mnt().Snapshot().Histogram()
+	var hist []int64
+	switch len(args) {
+	case 1:
+		hist = c.srv.mnt().Snapshot().Histogram()
+	case 3:
+		lo, ok := c.argVertex(args[1])
+		if !ok {
+			return false
+		}
+		hi, ok := c.argVertex(args[2])
+		if !ok {
+			return false
+		}
+		c.hist = c.srv.mnt().Snapshot().HistogramRangeInto(c.hist, lo, hi)
+		hist = c.hist
+	default:
+		c.writeError("ERR CORE.HIST takes no arguments or an id range: CORE.HIST [lo hi]")
+		return false
+	}
 	c.wr.WriteArrayHeader(len(hist))
 	for _, n := range hist {
 		c.wr.WriteInt(n)
@@ -153,20 +175,40 @@ func cmdHist(c *conn, args [][]byte) bool {
 	return false
 }
 
-// cmdKVert serves CORE.KVERT k: how many vertices are in the k-core
-// (core number >= k), summed off the snapshot histogram in O(MaxCore).
+// cmdKVert serves CORE.KVERT k [lo hi]: how many vertices are in the
+// k-core (core number >= k). Without a range it is summed off the
+// snapshot histogram in O(MaxCore); with an id range [lo, hi) it is an
+// O(hi-lo) scan counting only that range — the cluster's owned-band
+// form, summed across shards.
 func cmdKVert(c *conn, args [][]byte) bool {
 	k, ok := parseInt(args[1])
 	if !ok {
 		c.writeErrArg("invalid core value", args[1])
 		return false
 	}
-	hist := c.srv.mnt().Snapshot().Histogram()
-	var count int64
-	for cv := max(k, 0); cv < int64(len(hist)); cv++ {
-		count += hist[cv]
+	switch len(args) {
+	case 2:
+		hist := c.srv.mnt().Snapshot().Histogram()
+		var count int64
+		for cv := max(k, 0); cv < int64(len(hist)); cv++ {
+			count += hist[cv]
+		}
+		c.wr.WriteInt(count)
+	case 4:
+		lo, ok := c.argVertex(args[2])
+		if !ok {
+			return false
+		}
+		hi, ok := c.argVertex(args[3])
+		if !ok {
+			return false
+		}
+		kk := int32(min(max(k, 0), int64(1<<31-1)))
+		c.wr.WriteInt(c.srv.mnt().Snapshot().CountCoresAtLeast(kk, lo, hi))
+	default:
+		c.writeError("ERR CORE.KVERT takes k or k plus an id range: CORE.KVERT k [lo hi]")
+		return false
 	}
-	c.wr.WriteInt(count)
 	return false
 }
 

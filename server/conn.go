@@ -46,6 +46,7 @@ type conn struct {
 	// the coalescer until its batch applies, so it is only safe to reuse
 	// after the owed future's Wait returns (drainPending recycles there).
 	ids      []int32
+	hist     []int64 // range-histogram bins (CORE.HIST lo hi)
 	edgeFree [][]graph.Edge
 	errBuf   []byte
 

@@ -460,3 +460,78 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Fatalf("listener still accepting after shutdown")
 	}
 }
+
+// TestRangeAggregates pins the id-range forms of CORE.HIST and
+// CORE.KVERT — the per-shard owned-band scans the cluster router's
+// scatter-gather merges are built on.
+func TestRangeAggregates(t *testing.T) {
+	g := gen.ErdosRenyi(500, 2000, 11)
+	fresh, _ := bz.Decompose(g.Clone())
+	m := kcore.New(g, kcore.WithWorkers(2))
+	defer m.Close()
+	_, addr := startServer(t, m)
+	c := dial(t, addr)
+
+	for _, w := range [][2]int{{0, 500}, {0, 0}, {100, 350}, {499, 500}, {450, 900}} {
+		lo, hi := w[0], w[1]
+		chi := min(hi, 500)
+		want := []int64{0}
+		for v := lo; v < chi; v++ {
+			k := fresh[v]
+			for int(k) >= len(want) {
+				want = append(want, 0)
+			}
+			want[k]++
+		}
+		hist, err := client.Ints(c.Do("CORE.HIST", lo, hi))
+		if err != nil {
+			t.Fatalf("CORE.HIST %d %d: %v", lo, hi, err)
+		}
+		if len(hist) != len(want) {
+			t.Fatalf("CORE.HIST %d %d: %d bins, want %d", lo, hi, len(hist), len(want))
+		}
+		for k := range want {
+			if hist[k] != want[k] {
+				t.Fatalf("CORE.HIST %d %d bin %d = %d, want %d", lo, hi, k, hist[k], want[k])
+			}
+		}
+		for _, k := range []int{0, 1, 2, 50} {
+			var wantN int64
+			if k == 0 {
+				wantN = int64(chi - min(lo, chi))
+			} else {
+				for v := lo; v < chi; v++ {
+					if int(fresh[v]) >= k {
+						wantN++
+					}
+				}
+			}
+			n, err := client.Int(c.Do("CORE.KVERT", k, lo, hi))
+			if err != nil {
+				t.Fatalf("CORE.KVERT %d %d %d: %v", k, lo, hi, err)
+			}
+			if n != wantN {
+				t.Fatalf("CORE.KVERT %d %d %d = %d, want %d", k, lo, hi, n, wantN)
+			}
+		}
+	}
+
+	// Arity and argument errors on the range forms.
+	for _, tc := range []struct {
+		args []any
+		want string
+	}{
+		{[]any{"CORE.HIST", 1}, "id range"},
+		{[]any{"CORE.HIST", 1, 2, 3}, "wrong number of arguments"},
+		{[]any{"CORE.HIST", "x", 2}, "invalid vertex id"},
+		{[]any{"CORE.KVERT", 1, 2}, "id range"},
+		{[]any{"CORE.KVERT", 1, 2, 3, 4}, "wrong number of arguments"},
+		{[]any{"CORE.KVERT", 1, "x", 2}, "invalid vertex id"},
+	} {
+		_, err := c.Do(tc.args[0].(string), tc.args[1:]...)
+		var se *client.ServerError
+		if !errors.As(err, &se) || !strings.Contains(se.Msg, tc.want) {
+			t.Fatalf("%v: err = %v, want server error mentioning %q", tc.args, err, tc.want)
+		}
+	}
+}
