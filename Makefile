@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash cluster-check examples
+.PHONY: all build vet test race bench bench-json fuzz-smoke loadserve crash cluster-check metrics-check examples
 
 all: build vet test
 
@@ -25,9 +25,10 @@ bench:
 # (pipelined vs unpipelined reads and writes over loopback TCP), and the
 # AOF hot path (per fsync policy). -benchmem records allocs/op and B/op
 # so the zero-allocation command and append paths are tracked alongside
-# throughput.
+# throughput. BenchmarkMetricsOverhead prices the observability layer
+# (instrumented vs bare hot path) in the same file.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend|BenchmarkClusterScaling' -benchmem -json ./internal/snapshot ./server ./persist ./cluster > BENCH_serve.json
+	$(GO) test -run '^$$' -bench 'BenchmarkSnapshotPublish|BenchmarkServeRESP|BenchmarkAOFAppend|BenchmarkClusterScaling|BenchmarkMetricsOverhead' -benchmem -json ./internal/snapshot ./server ./persist ./cluster > BENCH_serve.json
 
 # Crash-recovery drills: the in-repo kill -9 harness (cmd/kcored's crash
 # test spawns real server processes, so it skips itself under -short),
@@ -51,6 +52,16 @@ cluster-check:
 	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg seq -d 2s
 	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg traversal -d 2s
 	$(GO) run ./cmd/loadserve -cluster-check -kcored /tmp/kcored -shards 3 -alg jes -d 2s
+
+# Observability drill: loadserve spawns a durable kcored with
+# -metrics-addr and -slowlog-ms 0, churns mixed traffic, scrapes
+# /metrics twice, asserts every expected metric family is present and
+# parseable, that the counters moved, that each histogram's +Inf bucket
+# equals its _count, and exercises CORE.SLOWLOG GET/LEN/RESET plus the
+# pprof index.
+metrics-check:
+	$(GO) build -o /tmp/kcored ./cmd/kcored
+	$(GO) run ./cmd/loadserve -metrics-check -kcored /tmp/kcored -d 2s
 
 # Example smoke runs: each example builds itself and runs at a small
 # scale, asserting its own verification line (skipped under -short).

@@ -29,6 +29,7 @@ type Cluster struct {
 	hwm atomic.Int64
 
 	chunkPairs int
+	obs        *routerMetrics
 }
 
 // Option configures Connect.
@@ -60,7 +61,7 @@ func Connect(m *ShardMap, opts ...Option) *Cluster {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c := &Cluster{m: m, chunkPairs: cfg.chunkPairs}
+	c := &Cluster{m: m, chunkPairs: cfg.chunkPairs, obs: newRouterMetrics(m.NumShards())}
 	c.pools = make([]*client.Pool, m.NumShards())
 	c.every = make([]int, m.NumShards())
 	for i := range c.pools {

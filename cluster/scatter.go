@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/client"
 )
@@ -35,11 +36,21 @@ func AsShardError(err error) (*ShardError, bool) {
 // joins the failures, each wrapped as a ShardError carrying the shard's
 // leader address. One slow or dead shard never blocks the others from
 // making progress; the caller sees every failure, not just the first.
+// Each scatter is one observation of the fan-out latency (the slowest
+// shard bounds it), and each per-shard leg counts against its shard's
+// request/error counters.
 func (c *Cluster) scatter(shards []int, fn func(shard int) error) error {
+	start := time.Now()
+	err := c.doScatter(shards, fn)
+	c.obs.fanout.ObserveDuration(time.Since(start))
+	return err
+}
+
+func (c *Cluster) doScatter(shards []int, fn func(shard int) error) error {
 	if len(shards) == 1 {
 		// The common single-shard case (routed op, or a one-shard map)
 		// skips the goroutine round trip entirely.
-		return c.wrapShardErr(shards[0], fn(shards[0]))
+		return c.runShard(shards[0], fn)
 	}
 	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
@@ -47,11 +58,22 @@ func (c *Cluster) scatter(shards []int, fn func(shard int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[k] = c.wrapShardErr(i, fn(i))
+			errs[k] = c.runShard(i, fn)
 		}()
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runShard runs one scatter leg against shard i, counting the request
+// and any failure on the shard's counters.
+func (c *Cluster) runShard(i int, fn func(shard int) error) error {
+	c.obs.reqs[i].Inc()
+	err := c.wrapShardErr(i, fn(i))
+	if err != nil {
+		c.obs.errs[i].Inc()
+	}
+	return err
 }
 
 // allShards returns [0, 1, …, NumShards−1] (cached; read-only).

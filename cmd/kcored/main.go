@@ -52,6 +52,8 @@ func main() {
 		ckptOps     = flag.Int64("checkpoint-ops", 0, "checkpoint after this many logged ops (0 = default, <0 = never)")
 		ckptBytes   = flag.Int64("checkpoint-bytes", 0, "checkpoint after this many logged bytes (0 = default, <0 = never)")
 		replicaOf   = flag.String("replica-of", "", "run as a read-only follower of the leader kcored at host:port")
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and net/http/pprof on this address (empty = disabled)")
+		slowlogMs   = flag.Int("slowlog-ms", 10, "slowlog threshold in milliseconds (0 records every command, negative disables)")
 		quiet       = flag.Bool("quiet", false, "suppress the startup banner")
 	)
 	flag.Parse()
@@ -64,7 +66,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kcored: -replica-of is mutually exclusive with -dir and -load")
 			os.Exit(2)
 		}
-		runReplica(*replicaOf, *addr, *algName, *workers, *maxVertices, *connShards, *quiet)
+		runReplica(*replicaOf, *addr, *algName, *workers, *maxVertices, *connShards,
+			*metricsAddr, *slowlogMs, *quiet)
 		return
 	}
 
@@ -146,11 +149,24 @@ func main() {
 			alg, *workers, g.N(), g.M(), time.Since(start).Round(time.Millisecond))
 	}
 
-	srvOpts := []server.Option{server.WithConnShards(*connShards)}
+	srvOpts := []server.Option{
+		server.WithConnShards(*connShards),
+		server.WithSlowlog(time.Duration(*slowlogMs)*time.Millisecond, 0),
+	}
 	if mgr != nil {
 		srvOpts = append(srvOpts, server.WithPersistence(mgr))
 	}
 	srv := server.New(m, srvOpts...)
+	if *metricsAddr != "" {
+		ms, err := serveMetrics(srv, *metricsAddr)
+		if err != nil {
+			log.Fatalf("kcored: metrics: %v", err)
+		}
+		defer ms.Close()
+		if !*quiet {
+			log.Printf("kcored: metrics on http://%s/metrics (pprof at /debug/pprof/)", ms.Addr())
+		}
+	}
 	// Closing the listener makes ListenAndServe return immediately, but
 	// the graceful drain (in-flight write futures, buffered replies) is
 	// still running inside Shutdown — main must wait for it before

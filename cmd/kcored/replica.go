@@ -11,13 +11,24 @@ import (
 
 	"repro/graph"
 	"repro/kcore"
+	"repro/obs"
 	"repro/server"
 )
+
+// serveMetrics builds a registry over the server's full metric surface
+// and serves it (plus pprof) on addr; shared by leader and replica
+// modes. Call only after the server's role is final (NewReplica done).
+func serveMetrics(srv *server.Server, addr string) (*obs.Server, error) {
+	reg := obs.NewRegistry()
+	srv.RegisterMetrics(reg)
+	return obs.Serve(addr, reg)
+}
 
 // runReplica is the -replica-of mode: serve reads from a follower that
 // streams the leader's op log, rejecting writes (READONLY) and exposing
 // CORE.WAIT on the applied-epoch watermark for read-your-writes.
-func runReplica(leaderAddr, addr, algName string, workers, maxVertices, connShards int, quiet bool) {
+func runReplica(leaderAddr, addr, algName string, workers, maxVertices, connShards int,
+	metricsAddr string, slowlogMs int, quiet bool) {
 	alg, err := parseAlg(algName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -30,7 +41,9 @@ func runReplica(leaderAddr, addr, algName string, workers, maxVertices, connShar
 		kcore.WithAlgorithm(alg),
 		kcore.WithWorkers(workers),
 		kcore.WithMaxVertices(maxVertices))
-	srv := server.New(m, server.WithConnShards(connShards))
+	srv := server.New(m,
+		server.WithConnShards(connShards),
+		server.WithSlowlog(time.Duration(slowlogMs)*time.Millisecond, 0))
 	var logger *log.Logger
 	if !quiet {
 		logger = log.Default()
@@ -41,6 +54,16 @@ func runReplica(leaderAddr, addr, algName string, workers, maxVertices, connShar
 		MaxVertices: maxVertices,
 		Logger:      logger,
 	})
+	if metricsAddr != "" {
+		ms, err := serveMetrics(srv, metricsAddr)
+		if err != nil {
+			log.Fatalf("kcored: metrics: %v", err)
+		}
+		defer ms.Close()
+		if !quiet {
+			log.Printf("kcored: metrics on http://%s/metrics (pprof at /debug/pprof/)", ms.Addr())
+		}
+	}
 	rep.Start()
 
 	shutdownDone := make(chan struct{})

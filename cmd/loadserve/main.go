@@ -57,9 +57,22 @@ func main() {
 		repCheck = flag.Bool("replica-check", false, "replication drill: spawn a durable leader + follower (-kcored), kill -9 the leader mid-run, restart it, verify the follower re-syncs to the acked-mirror oracle")
 		cluCheck = flag.Bool("cluster-check", false, "sharded-cluster drill: spawn -shards kcoreds (-kcored), churn mixed cross-shard traffic through the router, verify every routed read against the cluster oracle")
 		shards   = flag.Int("shards", 2, "shard count for -cluster-check")
-		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check / -replica-check / -cluster-check modes)")
+		kcored   = flag.String("kcored", "", "path to the kcored binary (-recover-check / -replica-check / -cluster-check / -metrics-check modes)")
+		scrape   = flag.String("scrape", "", "kcored /metrics URL to scrape before and after a -net run; prints the series deltas")
+		metAddr  = flag.String("metrics-addr", "", "serve the router's own Prometheus metrics on this address (-net cluster mode)")
+		metCheck = flag.Bool("metrics-check", false, "observability drill: spawn a kcored with -metrics-addr (-kcored), churn, scrape /metrics, assert the metric families parse and move, exercise CORE.SLOWLOG")
 	)
 	flag.Parse()
+
+	if *metCheck {
+		metricsCheckRun(metricsCheckConfig{
+			kcored:   *kcored,
+			duration: *duration,
+			batch:    *batch,
+			seed:     *seed,
+		})
+		return
+	}
 
 	if *recCheck {
 		recoverCheckRun(recoverCheckConfig{
@@ -116,6 +129,7 @@ func main() {
 				duration: *duration,
 				seed:     *seed,
 				check:    *check,
+				metrics:  *metAddr,
 			})
 			return
 		}
@@ -129,6 +143,7 @@ func main() {
 			duration: *duration,
 			seed:     *seed,
 			check:    *check,
+			scrape:   *scrape,
 		})
 		return
 	}

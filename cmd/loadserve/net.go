@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +22,7 @@ import (
 	"repro/client"
 	"repro/graph"
 	"repro/internal/stats"
+	"repro/obs"
 )
 
 type netConfig struct {
@@ -32,6 +35,7 @@ type netConfig struct {
 	duration time.Duration
 	seed     int64
 	check    bool
+	scrape   string // /metrics URL to diff across the run ("" = off)
 }
 
 func netRun(cfg netConfig) {
@@ -81,6 +85,11 @@ func netRun(cfg netConfig) {
 		log.Fatalf("loadserve: server has an empty universe; start kcored with -load or -n")
 	}
 
+	var scrapeBefore map[string]float64
+	if cfg.scrape != "" {
+		scrapeBefore = scrapeMetrics(cfg.scrape)
+	}
+
 	var (
 		stop      atomic.Bool
 		readOps   atomic.Int64
@@ -89,7 +98,11 @@ func netRun(cfg netConfig) {
 		errCount  atomic.Int64
 		readLat   = stats.NewLatencyRecorder(1 << 16)
 		writeLat  = stats.NewLatencyRecorder(1 << 16)
-		wg        sync.WaitGroup
+		// ackLat isolates the server-side share of a write flight: the
+		// wait from the flush to the last deferred reply (the pipelined
+		// batch's ack), excluding the client-side send loop.
+		ackLat = stats.NewLatencyRecorder(1 << 16)
+		wg     sync.WaitGroup
 	)
 
 	for r := 0; r < cfg.readers; r++ {
@@ -171,6 +184,7 @@ func netRun(cfg netConfig) {
 					errCount.Add(1)
 					return false
 				}
+				ackStart := time.Now()
 				for range edges {
 					if _, err := cc.Receive(); err != nil {
 						errCount.Add(1)
@@ -180,6 +194,7 @@ func netRun(cfg netConfig) {
 				writeOps.Add(int64(len(edges)))
 				writeEdge.Add(int64(len(edges)))
 				writeLat.Record(time.Since(start))
+				ackLat.Record(time.Since(ackStart))
 				return true
 			}
 			for !stop.Load() {
@@ -229,10 +244,12 @@ func netRun(cfg netConfig) {
 	secs := elapsed.Seconds()
 	fmt.Printf("\nran %.2fs over TCP: readers=%d writers=%d batch=%d pipeline=%d errors=%d\n",
 		secs, cfg.readers, cfg.writers, cfg.batch, cfg.pipeline, errCount.Load())
+	ackP := ackLat.Percentiles()
 	fmt.Printf("reads : %10d ops  %12.0f ops/s  flight latency(ms) %s\n",
 		readOps.Load(), float64(readOps.Load())/secs, readLat.Percentiles())
-	fmt.Printf("writes: %10d ops  %12.0f ops/s  (%d edges)  flight latency(ms) %s\n",
-		writeOps.Load(), float64(writeOps.Load())/secs, writeEdge.Load(), writeLat.Percentiles())
+	fmt.Printf("writes: %10d ops  %12.0f ops/s  (%d edges)  flight latency(ms) %s  ack(ms) p50=%.4g p99=%.4g\n",
+		writeOps.Load(), float64(writeOps.Load())/secs, writeEdge.Load(), writeLat.Percentiles(),
+		ackP.P50, ackP.P99)
 	fmt.Printf("server: conns=%s/%s cmds=%s (writes=%s) pipeline depth p50=%s p99=%s proto-errors=%s\n",
 		st["conns_active"], st["conns_total"], st["commands"], st["write_cmds"],
 		st["pipeline_p50"], st["pipeline_p99"], st["proto_errors"])
@@ -245,6 +262,10 @@ func netRun(cfg netConfig) {
 	ps := pool.Stats()
 	fmt.Printf("client pool (leader): dials=%d replaced=%d in-use=%d idle=%d\n",
 		ps.Dials, ps.Replaced, ps.InUse, ps.Idle)
+
+	if cfg.scrape != "" {
+		printScrapeDeltas(cfg.scrape, scrapeBefore)
+	}
 
 	if cfg.check {
 		if s, err := client.String(cc.Do("CORE.CHECK")); err != nil || s != "OK" {
@@ -283,6 +304,41 @@ func netRun(cfg netConfig) {
 		}
 	}
 	pool.Put(cc)
+}
+
+// scrapeMetrics fetches and parses one Prometheus exposition from a
+// kcored -metrics-addr endpoint.
+func scrapeMetrics(url string) map[string]float64 {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatalf("loadserve: scrape %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
+		log.Fatalf("loadserve: scrape %s: %v", url, err)
+	}
+	return m
+}
+
+// printScrapeDeltas scrapes again and prints every non-bucket series
+// that moved over the run — the server's own account of the load it
+// absorbed, next to the client-side numbers.
+func printScrapeDeltas(url string, before map[string]float64) {
+	after := scrapeMetrics(url)
+	keys := make([]string, 0, len(after))
+	for k := range after {
+		if !strings.Contains(k, "_bucket{") {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Printf("\nmetrics deltas over the run (%s):\n", url)
+	for _, k := range keys {
+		if d := after[k] - before[k]; d != 0 {
+			fmt.Printf("  %-64s %+g\n", k, d)
+		}
+	}
 }
 
 // sweepServerCores reads every core number off a server in chunked

@@ -20,6 +20,7 @@ import (
 	"repro/cluster"
 	"repro/gen"
 	"repro/internal/stats"
+	"repro/obs"
 )
 
 type clusterNetConfig struct {
@@ -33,6 +34,7 @@ type clusterNetConfig struct {
 	duration time.Duration
 	seed     int64
 	check    bool
+	metrics  string // serve the router's Prometheus metrics here ("" = off)
 }
 
 func clusterNetRun(cfg clusterNetConfig) {
@@ -42,6 +44,19 @@ func clusterNetRun(cfg clusterNetConfig) {
 	}
 	c := cluster.Connect(m)
 	defer c.Close()
+	if cfg.metrics != "" {
+		// The router's metrics (per-shard request/error counters, fan-out
+		// latency) live in this process, not in any kcored — the driver
+		// serves them itself.
+		reg := obs.NewRegistry()
+		c.RegisterMetrics(reg)
+		ms, err := obs.Serve(cfg.metrics, reg)
+		if err != nil {
+			log.Fatalf("loadserve: metrics: %v", err)
+		}
+		defer ms.Close()
+		fmt.Printf("router metrics on http://%s/metrics\n", ms.Addr())
+	}
 	if err := c.Recover(); err != nil {
 		log.Fatalf("loadserve: cluster bootstrap: %v", err)
 	}

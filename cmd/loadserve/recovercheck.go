@@ -213,14 +213,15 @@ func recoverCheckRun(cfg recoverCheckConfig) {
 	fmt.Println("recover-check: PASS")
 }
 
-func spawnKcored(bin, dir, addr string) *exec.Cmd {
-	cmd := exec.Command(bin,
+func spawnKcored(bin, dir, addr string, extra ...string) *exec.Cmd {
+	args := append([]string{
 		"-addr", addr,
 		"-dir", dir,
 		"-aof-fsync", "always",
 		"-checkpoint-ops", "500",
 		"-quiet",
-	)
+	}, extra...)
+	cmd := exec.Command(bin, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		log.Fatalf("loadserve: start %s: %v", bin, err)

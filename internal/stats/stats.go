@@ -151,6 +151,15 @@ func Quantile(xs []float64, q float64) float64 {
 }
 
 func quantileSorted(sorted []float64, q float64) float64 {
+	// Edge cases first, so the function is safe even when called with a
+	// sample the public wrappers did not pre-screen: an empty sample has
+	// no order statistics (0), a single sample IS every quantile.
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
 	if q <= 0 {
 		return sorted[0]
 	}

@@ -141,6 +141,38 @@ func TestQuantile(t *testing.T) {
 	}
 }
 
+// TestQuantileEdgeCases pins the empty and single-sample behavior all
+// the way down to quantileSorted: an empty recorder reports 0, a
+// single-sample recorder reports the sample for every quantile.
+func TestQuantileEdgeCases(t *testing.T) {
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got := Quantile(nil, q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+		if got := quantileSorted(nil, q); got != 0 {
+			t.Fatalf("empty quantileSorted(%g) = %g, want 0", q, got)
+		}
+		if got := Quantile([]float64{42}, q); got != 42 {
+			t.Fatalf("single-sample Quantile(%g) = %g, want 42", q, got)
+		}
+		if got := quantileSorted([]float64{42}, q); got != 42 {
+			t.Fatalf("single-sample quantileSorted(%g) = %g, want 42", q, got)
+		}
+	}
+	p := ComputePercentiles([]float64{7})
+	if p.N != 1 || p.P50 != 7 || p.P90 != 7 || p.P99 != 7 || p.Max != 7 {
+		t.Fatalf("single-sample percentiles: %+v", p)
+	}
+	var r LatencyRecorder
+	if got := r.Percentiles(); got.N != 0 || got.P50 != 0 || got.P99 != 0 {
+		t.Fatalf("empty recorder percentiles: %+v", got)
+	}
+	r.RecordValue(3.5)
+	if got := r.Percentiles(); got.N != 1 || got.P50 != 3.5 || got.P99 != 3.5 {
+		t.Fatalf("single-sample recorder percentiles: %+v", got)
+	}
+}
+
 func TestComputePercentiles(t *testing.T) {
 	xs := make([]float64, 100)
 	for i := range xs {

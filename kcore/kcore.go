@@ -103,6 +103,7 @@ type config struct {
 	workers int
 	maxN    int
 	oplog   OpLog
+	pm      *PipelineMetrics
 }
 
 // OpLog receives the canonical op stream of a Maintainer — the hook the
@@ -282,11 +283,14 @@ func New(g *graph.Graph, opts ...Option) *Maintainer {
 		// so Algorithm() reports the engine actually built.
 		cfg.alg = ParallelOrder
 	}
+	if cfg.pm == nil {
+		cfg.pm = NewPipelineMetrics(cfg.alg.String())
+	}
 	eng := &engine{cfg: cfg, g: g, impl: newEngine(cfg.alg, g, cfg.workers)}
 	if el, ok := cfg.oplog.(EpochLog); ok {
 		eng.epochlog = el
 	}
-	pipe := newPipeline()
+	pipe := newPipeline(cfg.pm)
 	go pipe.run(eng)
 	m := &Maintainer{eng: eng, pipe: pipe}
 	runtime.AddCleanup(m, func(p *pipeline) { p.close(false) }, pipe)
@@ -665,7 +669,10 @@ func (eng *engine) applyDirect(op *updateOp) BatchResult {
 	}
 	res.Duration = time.Since(start)
 	res.Coalesced = 1
+	eng.cfg.pm.Apply.ObserveDuration(res.Duration)
+	pubStart := time.Now()
 	eng.publishAfter(&res)
+	eng.cfg.pm.Publish.ObserveDuration(time.Since(pubStart))
 	eng.logEpoch()
 	res.changed = nil // dead after publication; don't hand it to the caller
 	return res

@@ -1,0 +1,49 @@
+package kcore
+
+import "repro/obs"
+
+// PipelineMetrics holds the update pipeline's stage histograms: how long
+// coalesced ops waited in the queue before their batch started, how long
+// the engine round took, and how long snapshot publication took. All
+// three are one family, kcore_pipeline_stage_seconds, labeled by stage
+// and engine.
+//
+// A PipelineMetrics is cumulative and independent of any one Maintainer:
+// pass it to New via WithPipelineMetrics to keep one continuous series
+// across maintainer re-bootstraps (a replica builds a fresh Maintainer
+// per FULLSYNC, but its operator wants one monotone latency history).
+// When the option is absent New builds a private instance, so the
+// observation sites never nil-check.
+type PipelineMetrics struct {
+	CoalesceWait *obs.Histogram
+	Apply        *obs.Histogram
+	Publish      *obs.Histogram
+}
+
+// NewPipelineMetrics builds the stage histograms for one engine label.
+func NewPipelineMetrics(engine string) *PipelineMetrics {
+	const name = "kcore_pipeline_stage_seconds"
+	const help = "Update pipeline stage latency: queue wait before the batch, engine apply, snapshot publish."
+	return &PipelineMetrics{
+		CoalesceWait: obs.NewDurationHistogram(name, help, obs.L("engine", engine), obs.L("stage", "coalesce_wait")),
+		Apply:        obs.NewDurationHistogram(name, help, obs.L("engine", engine), obs.L("stage", "apply")),
+		Publish:      obs.NewDurationHistogram(name, help, obs.L("engine", engine), obs.L("stage", "publish")),
+	}
+}
+
+// Register adds the stage histograms to reg.
+func (pm *PipelineMetrics) Register(reg *obs.Registry) {
+	reg.MustRegister(pm.CoalesceWait, pm.Apply, pm.Publish)
+}
+
+// WithPipelineMetrics attaches an externally owned PipelineMetrics to
+// the Maintainer, keeping stage histograms cumulative across maintainer
+// rebuilds. The caller should construct it with the same engine label
+// it builds the Maintainer with.
+func WithPipelineMetrics(pm *PipelineMetrics) Option {
+	return func(c *config) { c.pm = pm }
+}
+
+// PipelineMetrics returns the Maintainer's stage histograms (the
+// attached instance, or the private one New built).
+func (m *Maintainer) PipelineMetrics() *PipelineMetrics { return m.eng.cfg.pm }

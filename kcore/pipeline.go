@@ -32,7 +32,8 @@ const (
 type updateOp struct {
 	kind  opKind
 	edges []graph.Edge
-	fn    func() // opBarrier only: runs in the applier at quiescence
+	fn    func()    // opBarrier only: runs in the applier at quiescence
+	enq   time.Time // submission time; feeds the coalesce-wait histogram
 	done  chan BatchResult
 }
 
@@ -57,12 +58,14 @@ type pipeline struct {
 
 	metrics pcore.ServeMetrics
 	updLat  stats.LatencyRecorder
+	pm      *PipelineMetrics
 }
 
-func newPipeline() *pipeline {
+func newPipeline(pm *PipelineMetrics) *pipeline {
 	return &pipeline{
 		ops:    make(chan *updateOp, opQueueCap),
 		exited: make(chan struct{}),
+		pm:     pm,
 	}
 }
 
@@ -108,6 +111,7 @@ func (pd *Pending) Wait() BatchResult {
 // pipeline is shut down.
 func (p *pipeline) submit(eng *engine, op *updateOp) *Pending {
 	pd := &Pending{p: p, op: op, start: time.Now()}
+	op.enq = pd.start
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
@@ -198,6 +202,12 @@ func (p *pipeline) process(eng *engine, pending []*updateOp) {
 func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	removes, inserts, canceled := coalesce(seg)
 	start := time.Now()
+	// The segment's oldest op has waited longest; its queue time is the
+	// batch's coalesce wait (ops applied directly after Close carry no
+	// enqueue stamp and are skipped).
+	if enq := seg[0].enq; !enq.IsZero() {
+		p.pm.CoalesceWait.ObserveDuration(start.Sub(enq))
+	}
 	removes, inserts = eng.prepareBatch(removes, inserts)
 	eng.logBatch(removes, inserts)
 	var res BatchResult
@@ -209,7 +219,10 @@ func (p *pipeline) applySegment(eng *engine, seg []*updateOp) {
 	}
 	res.Duration = time.Since(start)
 	res.Coalesced = len(seg)
+	p.pm.Apply.ObserveDuration(res.Duration)
+	pubStart := time.Now()
 	eng.publishAfter(&res)
+	p.pm.Publish.ObserveDuration(time.Since(pubStart))
 	eng.logEpoch()
 	// The changed set is dead after publication; don't let callers that
 	// retain their BatchResult pin a batch's whole ⋃V* in memory.

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWritePrometheusGolden pins the exposition renderer byte for byte:
+// HELP/TYPE headers, family grouping across interleaved registration,
+// label escaping, histogram _bucket/_sum/_count, and callback metrics.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter("test_requests_total", "Total requests.", L("family", "read"))
+	c.Add(5)
+	g := NewGauge("test_temp", "Current temp.\nSecond line \\ backslash.")
+	g.Set(-3)
+	// Registered out of family order: must still group under one header.
+	c2 := NewCounter("test_requests_total", "Total requests.", L("family", "we\"ird\\va\nlue"))
+	c2.Inc()
+	h := NewHistogram("test_lat_seconds", "Latency.", 1e-3, []int64{1, 10, 100})
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(1000)
+	gf := NewGaugeFunc("test_func", "Func gauge.", func() float64 { return 1.5 })
+	sf := NewGaugeSeriesFunc("test_series", "Dynamic series.", func() []Sample {
+		return []Sample{
+			{Labels: []Label{L("id", "0")}, Value: 10},
+			{Labels: []Label{L("id", "1")}, Value: 20},
+		}
+	})
+	reg.MustRegister(c, g, c2, h, gf, sf)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total{family="read"} 5
+test_requests_total{family="we\"ird\\va\nlue"} 1
+# HELP test_temp Current temp.\nSecond line \\ backslash.
+# TYPE test_temp gauge
+test_temp -3
+# HELP test_lat_seconds Latency.
+# TYPE test_lat_seconds histogram
+test_lat_seconds_bucket{le="0.001"} 1
+test_lat_seconds_bucket{le="0.01"} 2
+test_lat_seconds_bucket{le="0.1"} 2
+test_lat_seconds_bucket{le="+Inf"} 3
+test_lat_seconds_sum 1.006
+test_lat_seconds_count 3
+# HELP test_func Func gauge.
+# TYPE test_func gauge
+test_func 1.5
+# HELP test_series Dynamic series.
+# TYPE test_series gauge
+test_series{id="0"} 10
+test_series{id="1"} 20
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestParseRoundTrip feeds the renderer's output back through ParseText
+// and checks series keys and values survive, including escaped labels.
+func TestParseRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter("rt_total", "RT.", L("name", "a b{c}\"d\\e"))
+	c.Add(7)
+	h := NewDurationHistogram("rt_lat_seconds", "RT latency.")
+	h.ObserveDuration(3 * time.Millisecond)
+	reg.MustRegister(c, h)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if v := m[`rt_total{name="a b{c}\"d\\e"}`]; v != 7 {
+		t.Fatalf("escaped-label series lost: got %v, map %v", v, m)
+	}
+	if v := m["rt_lat_seconds_count"]; v != 1 {
+		t.Fatalf("histogram count: got %v", v)
+	}
+	if v := m[`rt_lat_seconds_bucket{le="+Inf"}`]; v != 1 {
+		t.Fatalf("+Inf bucket: got %v", v)
+	}
+	if v := m["rt_lat_seconds_sum"]; v < 0.002 || v > 0.004 {
+		t.Fatalf("sum: got %v, want ~0.003", v)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`unterminated{label="x 3` + "\n",
+		"bad value x\n",
+		"0leading_digit 3\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q): want error, got nil", bad)
+		}
+	}
+	// Timestamps and comments are fine.
+	m, err := ParseText(strings.NewReader("# TYPE a counter\na 3 1700000000000\n"))
+	if err != nil || m["a"] != 3 {
+		t.Fatalf("timestamped sample: %v %v", m, err)
+	}
+}
+
+// TestHotPathZeroAlloc pins the instrumentation contract: counter adds
+// and histogram observations allocate nothing.
+func TestHotPathZeroAlloc(t *testing.T) {
+	c := NewCounter("alloc_total", "x")
+	g := NewGauge("alloc_gauge", "x")
+	h := NewDurationHistogram("alloc_lat_seconds", "x", L("family", "read"))
+	if a := testing.AllocsPerRun(200, func() {
+		c.Add(3)
+		g.Set(9)
+		h.Observe(412)
+		h.ObserveN(1_500_000, 64)
+	}); a != 0 {
+		t.Fatalf("hot path allocates: %.1f allocs/run, want 0", a)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram("q", "x", 1, []int64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile: got %v, want 0", got)
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in (10,20]
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 10 || p50 > 20 {
+		t.Fatalf("p50 outside owning bucket: %v", p50)
+	}
+	h2 := NewHistogram("q2", "x", 1, []int64{10})
+	h2.Observe(99) // +Inf bucket clamps to last bound
+	if got := h2.Quantile(0.99); got != 10 {
+		t.Fatalf("+Inf clamp: got %v, want 10", got)
+	}
+}
+
+// TestConcurrentScrape hammers every primitive from writer goroutines
+// while scraping in a loop — the registry must stay internally
+// consistent (bucket cumulative counts monotone, _count == +Inf) and
+// race-clean under -race.
+func TestConcurrentScrape(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter("cc_total", "x")
+	h := NewDurationHistogram("cc_lat_seconds", "x")
+	g := NewGauge("cc_gauge", "x")
+	reg.MustRegister(c, h, g)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(int64(w*1000 + i%5000))
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ParseText(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("scrape not parseable: %v\n%s", err, buf.String())
+		}
+		if m[`cc_lat_seconds_bucket{le="+Inf"}`] != m["cc_lat_seconds_count"] {
+			t.Fatalf("+Inf bucket != _count: %v", m)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(4, 10*time.Millisecond)
+	if l.Eligible(5 * time.Millisecond) {
+		t.Fatal("below threshold should not be eligible")
+	}
+	if !l.Eligible(10 * time.Millisecond) {
+		t.Fatal("at threshold should be eligible")
+	}
+	for i := 0; i < 6; i++ {
+		l.Add("CMD", fmt.Sprintf("i=%d", i), time.Duration(i)*time.Millisecond)
+	}
+	if l.Len() != 4 || l.Total() != 6 {
+		t.Fatalf("len=%d total=%d, want 4/6", l.Len(), l.Total())
+	}
+	snap := l.Snapshot(0)
+	if len(snap) != 4 || snap[0].ID != 5 || snap[3].ID != 2 {
+		t.Fatalf("snapshot order: %+v", snap)
+	}
+	if snap[0].Detail != "i=5" {
+		t.Fatalf("detail: %+v", snap[0])
+	}
+	if got := l.Snapshot(2); len(got) != 2 || got[0].ID != 5 {
+		t.Fatalf("bounded snapshot: %+v", got)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Total() != 6 {
+		t.Fatalf("after reset: len=%d total=%d", l.Len(), l.Total())
+	}
+	l.Add("X", "", time.Second)
+	if snap := l.Snapshot(0); len(snap) != 1 || snap[0].ID != 6 {
+		t.Fatalf("ids must survive reset: %+v", snap)
+	}
+
+	disabled := NewSlowLog(4, -1)
+	if disabled.Eligible(time.Hour) {
+		t.Fatal("negative threshold must disable the log")
+	}
+}
+
+// TestServeEndpoint spins the real HTTP endpoint and checks /metrics
+// content type + body and that pprof answers.
+func TestServeEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCounter("ep_total", "x")
+	c.Add(2)
+	reg.MustRegister(c)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type: %q", ct)
+	}
+	if !strings.Contains(string(body), "ep_total 2") {
+		t.Fatalf("body: %s", body)
+	}
+
+	pp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status: %d", pp.StatusCode)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	reg := NewRegistry()
+	reg.MustRegister(NewCounter("dup_total", "x", L("a", "1")))
+	expectPanic("duplicate series", func() {
+		reg.MustRegister(NewCounter("dup_total", "x", L("a", "1")))
+	})
+	expectPanic("type clash", func() {
+		reg.MustRegister(NewGauge("dup_total", "x", L("a", "2")))
+	})
+	expectPanic("bad bounds", func() {
+		NewHistogram("h", "x", 1, []int64{5, 5})
+	})
+}

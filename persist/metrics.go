@@ -1,0 +1,89 @@
+package persist
+
+import (
+	"strconv"
+	"time"
+
+	"repro/obs"
+)
+
+// TapStat is a point-in-time view of one replication follower tap.
+type TapStat struct {
+	ID            int64  // stable per-tap id (monotone across the manager's lifetime)
+	BufferedBytes int    // framed record bytes enqueued but not yet streamed
+	LastEpoch     uint64 // newest epoch marker the tap has enqueued
+}
+
+// TapStats snapshots the live follower taps.
+func (p *Manager) TapStats() []TapStat {
+	p.mu.Lock()
+	taps := append([]*tap(nil), p.taps...)
+	p.mu.Unlock()
+	out := make([]TapStat, 0, len(taps))
+	for _, t := range taps {
+		t.mu.Lock()
+		out = append(out, TapStat{ID: t.id, BufferedBytes: len(t.buf), LastEpoch: t.lastEpoch})
+		t.mu.Unlock()
+	}
+	return out
+}
+
+// FsyncQuantile estimates the q-quantile of AOF fsync latency in
+// seconds (0 when no fsync has been timed yet) — the CORE.STATS view of
+// the exported histogram.
+func (p *Manager) FsyncQuantile(q float64) float64 { return p.fsyncLat.Quantile(q) }
+
+// RegisterMetrics adds the durability subsystem's metrics to reg: the
+// fsync latency histogram plus scrape-time views of the counters Stats
+// already reports, and a per-follower buffered-bytes gauge series.
+func (p *Manager) RegisterMetrics(reg *obs.Registry) {
+	reg.MustRegister(
+		p.fsyncLat,
+		obs.NewCounterFunc("kcored_aof_records_total", "AOF records appended.",
+			func() float64 { return float64(p.records.Load()) }),
+		obs.NewCounterFunc("kcored_aof_bytes_total", "AOF bytes appended.",
+			func() float64 { return float64(p.appendedBytes.Load()) }),
+		obs.NewCounterFunc("kcored_checkpoints_total", "Checkpoints completed (initial included).",
+			func() float64 { return float64(p.checkpoints.Load()) }),
+		obs.NewGaugeFunc("kcored_checkpoint_generation", "Current durability generation.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(p.gen)
+			}),
+		obs.NewGaugeFunc("kcored_checkpoint_last_duration_seconds", "Wall time of the last checkpoint.",
+			func() float64 { return time.Duration(p.lastSaveDur.Load()).Seconds() }),
+		obs.NewGaugeFunc("kcored_checkpoint_last_unix", "Completion time of the last checkpoint (unix seconds, 0 before the first).",
+			func() float64 { return float64(p.lastSaveUnix.Load()) }),
+		obs.NewGaugeFunc("kcored_persist_err", "1 when the sticky persistence error has tripped, else 0.",
+			func() float64 {
+				if p.errStr.Load() != nil {
+					return 1
+				}
+				return 0
+			}),
+		obs.NewGaugeFunc("kcored_sync_followers", "Live replication follower taps.",
+			func() float64 {
+				p.mu.Lock()
+				defer p.mu.Unlock()
+				return float64(len(p.taps))
+			}),
+		obs.NewCounterFunc("kcored_sync_dropped_total", "Follower taps dropped by the slow-follower policy.",
+			func() float64 { return float64(p.syncDropped.Load()) }),
+		obs.NewCounterFunc("kcored_syncs_started_total", "Follower sync sessions started.",
+			func() float64 { return float64(p.syncsStarted.Load()) }),
+		obs.NewGaugeSeriesFunc("kcored_sync_follower_buffered_bytes",
+			"Per-follower op-stream backlog (framed record bytes not yet streamed).",
+			func() []obs.Sample {
+				taps := p.TapStats()
+				out := make([]obs.Sample, len(taps))
+				for i, t := range taps {
+					out[i] = obs.Sample{
+						Labels: []obs.Label{obs.L("follower", strconv.FormatInt(t.ID, 10))},
+						Value:  float64(t.BufferedBytes),
+					}
+				}
+				return out
+			}),
+	)
+}

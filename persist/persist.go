@@ -44,6 +44,7 @@ import (
 
 	"repro/graph"
 	"repro/kcore"
+	"repro/obs"
 )
 
 // Fsync is the AOF sync policy.
@@ -175,7 +176,13 @@ type Manager struct {
 	checkpoints   atomic.Int64
 	lastSaveUnix  atomic.Int64
 	lastSaveDur   atomic.Int64
+	tapSeq        atomic.Int64
 	errStr        atomic.Pointer[string]
+
+	// fsyncLat times every AOF fsync (the FsyncAlways per-batch sync and
+	// the everysec background sync alike) — the durability subsystem's
+	// primary latency signal, exported via RegisterMetrics.
+	fsyncLat *obs.Histogram
 }
 
 // NewManager prepares a Manager over dir (created if absent). No files
@@ -195,6 +202,8 @@ func NewManager(dir string, opts Options) (*Manager, error) {
 		opts:    opts,
 		ckptReq: make(chan struct{}, 1),
 		quit:    make(chan struct{}),
+		fsyncLat: obs.NewDurationHistogram("kcored_aof_fsync_seconds",
+			"AOF fsync latency (per-batch under -aof-fsync always, background under everysec)."),
 	}, nil
 }
 
@@ -316,10 +325,12 @@ func (p *Manager) finishAppendLocked(ops int64) {
 	p.opsSince += ops
 	switch p.opts.Fsync {
 	case FsyncAlways:
+		start := time.Now()
 		if err := p.f.Sync(); err != nil {
 			p.failLocked(fmt.Errorf("persist: fsync: %w", err))
 			return
 		}
+		p.fsyncLat.ObserveDuration(time.Since(start))
 	case FsyncEverySec:
 		p.dirty = true
 	}
@@ -572,10 +583,12 @@ func (p *Manager) syncIfDirty() {
 	if !p.dirty || p.f == nil || p.err != nil {
 		return
 	}
+	start := time.Now()
 	if err := p.f.Sync(); err != nil {
 		p.failLocked(fmt.Errorf("persist: fsync: %w", err))
 		return
 	}
+	p.fsyncLat.ObserveDuration(time.Since(start))
 	p.dirty = false
 }
 

@@ -78,6 +78,7 @@ func SnapshotCRC(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
 // SyncSession.Wait. A tap never blocks the appender: when the streamer
 // cannot keep up the tap overflows and dies.
 type tap struct {
+	id        int64 // stable follower label for metrics
 	mu        sync.Mutex
 	buf       []byte
 	spare     []byte        // drained buffer handed back for reuse
@@ -233,6 +234,7 @@ func (p *Manager) StartSync() (*SyncSession, error) {
 			max = defaultSyncBufferBytes
 		}
 		t := newTap(max, q.Epoch())
+		t.id = p.tapSeq.Add(1)
 		p.mu.Lock()
 		if p.err != nil || p.closed.Load() {
 			p.mu.Unlock()

@@ -215,3 +215,71 @@ func BenchmarkHotPathAllocs(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkMetricsOverhead prices the observability layer on the
+// pipelined read path: the same parse→handle→flush core as
+// BenchmarkHotPathAllocs, once with the command metrics live
+// (instrumented — one clock read plus a per-family tally per burst,
+// flushed into atomics at burst end) and once with them stripped
+// (bare, srv.metrics = nil). The instrumented arm keeps the
+// zero-allocation contract; CI records both rows in BENCH_serve.json
+// so the ns/op delta — the acceptance budget is ≤2% — stays visible.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	const n = 10_000
+	const depth = 64
+	rng := rand.New(rand.NewSource(7))
+	var getBurst []byte
+	for i := 0; i < depth; i++ {
+		getBurst = appendRESPCommand(getBurst, "CORE.GET", strconv.Itoa(int(rng.Int31n(n))))
+	}
+
+	for _, arm := range []struct {
+		name         string
+		instrumented bool
+	}{
+		{"instrumented", true},
+		{"bare", false},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			maint := kcore.New(gen.ErdosRenyi(n, 40_000, 1), kcore.WithWorkers(1))
+			defer maint.Close()
+			srv := New(maint)
+			if !arm.instrumented {
+				srv.metrics = nil
+			}
+			c := &conn{srv: srv, wr: resp.NewWriterSize(io.Discard, 16<<10)}
+
+			runBurst := func() {
+				off := 0
+				for {
+					m, err := c.par.Parse(getBurst[off:], &c.cmd)
+					off += m
+					if err == resp.ErrIncomplete {
+						break
+					}
+					if err != nil {
+						b.Fatalf("parse: %v", err)
+					}
+					c.handle(c.cmd.Args)
+				}
+				c.endCycle()
+				if err := c.wr.Flush(); err != nil {
+					b.Fatalf("flush: %v", err)
+				}
+			}
+
+			runBurst() // warm scratch
+			if arm.instrumented {
+				allocs := testing.AllocsPerRun(100, runBurst)
+				if perOp := allocs / depth; perOp != 0 {
+					b.Fatalf("instrumented hot path allocates: %.2f allocs/op, want 0", perOp)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				runBurst()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/depth, "ns/cmd")
+		})
+	}
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"strconv"
+	"time"
 
 	"repro/graph"
 )
@@ -19,7 +20,19 @@ type command struct {
 	// denyOnReplica commands mutate the graph; a replica rejects them
 	// with READONLY — its only writer is the leader's op stream.
 	denyOnReplica bool
-	fn            func(c *conn, args [][]byte) (quit bool)
+	// family buckets the command for metrics (per-family counters and
+	// latency histograms; see metrics.go).
+	family cmdFamily
+	// timed commands are individually clocked in dispatch (aggregate and
+	// admin families — heavy and rare); reads and writes are observed at
+	// burst granularity instead, keeping the hot path to one clock read
+	// per pipelined burst. Computed by register.
+	timed bool
+	// noSlowlog exempts a command from slowlog recording; CORE.SLOWLOG
+	// sets it so inspecting the ring never mutates it (LEN after RESET
+	// must read 0, even at threshold 0).
+	noSlowlog bool
+	fn        func(c *conn, args [][]byte) (quit bool)
 }
 
 // commands maps the upper-cased wire name to its handler. The table is
@@ -28,30 +41,37 @@ type command struct {
 var commands = map[string]*command{}
 
 func register(cmd *command) {
+	// Individual timing covers the heavy, rare families; the read and
+	// write families are observed at burst granularity (conn.flushObs,
+	// conn.drainPending) to keep the hot path free of per-command clock
+	// reads. Blocking commands park indefinitely — their wall time is
+	// wait, not work, so they are never timed.
+	cmd.timed = (cmd.family == famAggregate || cmd.family == famAdmin) && !cmd.blocking
 	commands[cmd.name] = cmd
 }
 
 func init() {
-	register(&command{name: "PING", minArgs: 1, maxArgs: 2, fn: cmdPing})
-	register(&command{name: "QUIT", minArgs: 1, maxArgs: 1, fn: cmdQuit})
-	register(&command{name: "CORE.GET", minArgs: 2, maxArgs: 2, fn: cmdGet})
-	register(&command{name: "CORE.MGET", minArgs: 2, maxArgs: -1, fn: cmdMGet})
-	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdInsert})
-	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, write: true, denyOnReplica: true, fn: cmdRemove})
-	register(&command{name: "CORE.MAXCORE", minArgs: 1, maxArgs: 1, fn: cmdMaxCore})
-	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 3, fn: cmdHist})
-	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 4, fn: cmdKVert})
-	register(&command{name: "CORE.DEGENERACY", minArgs: 1, maxArgs: 1, fn: cmdDegeneracy})
-	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, denyOnReplica: true, fn: cmdGrow})
-	register(&command{name: "CORE.FLUSH", minArgs: 1, maxArgs: 1, fn: cmdFlush})
-	register(&command{name: "CORE.EPOCH", minArgs: 1, maxArgs: 1, fn: cmdEpoch})
-	register(&command{name: "CORE.N", minArgs: 1, maxArgs: 1, fn: cmdN})
-	register(&command{name: "CORE.CHECK", minArgs: 1, maxArgs: 1, fn: cmdCheck})
-	register(&command{name: "CORE.STATS", minArgs: 1, maxArgs: 1, fn: cmdStats})
-	register(&command{name: "CORE.BGSAVE", minArgs: 1, maxArgs: 1, fn: cmdBGSave})
-	register(&command{name: "CORE.LASTSAVE", minArgs: 1, maxArgs: 1, fn: cmdLastSave})
-	register(&command{name: "CORE.SYNC", minArgs: 1, maxArgs: 1, blocking: true, fn: cmdSync})
-	register(&command{name: "CORE.WAIT", minArgs: 2, maxArgs: 3, blocking: true, fn: cmdWait})
+	register(&command{name: "PING", minArgs: 1, maxArgs: 2, family: famRead, fn: cmdPing})
+	register(&command{name: "QUIT", minArgs: 1, maxArgs: 1, family: famRead, fn: cmdQuit})
+	register(&command{name: "CORE.GET", minArgs: 2, maxArgs: 2, family: famRead, fn: cmdGet})
+	register(&command{name: "CORE.MGET", minArgs: 2, maxArgs: -1, family: famRead, fn: cmdMGet})
+	register(&command{name: "CORE.INSERT", minArgs: 3, maxArgs: -1, family: famWrite, write: true, denyOnReplica: true, fn: cmdInsert})
+	register(&command{name: "CORE.REMOVE", minArgs: 3, maxArgs: -1, family: famWrite, write: true, denyOnReplica: true, fn: cmdRemove})
+	register(&command{name: "CORE.MAXCORE", minArgs: 1, maxArgs: 1, family: famRead, fn: cmdMaxCore})
+	register(&command{name: "CORE.HIST", minArgs: 1, maxArgs: 3, family: famAggregate, fn: cmdHist})
+	register(&command{name: "CORE.KVERT", minArgs: 2, maxArgs: 4, family: famAggregate, fn: cmdKVert})
+	register(&command{name: "CORE.DEGENERACY", minArgs: 1, maxArgs: 1, family: famAggregate, fn: cmdDegeneracy})
+	register(&command{name: "CORE.GROW", minArgs: 2, maxArgs: 2, family: famAdmin, denyOnReplica: true, fn: cmdGrow})
+	register(&command{name: "CORE.FLUSH", minArgs: 1, maxArgs: 1, family: famAdmin, fn: cmdFlush})
+	register(&command{name: "CORE.EPOCH", minArgs: 1, maxArgs: 1, family: famRead, fn: cmdEpoch})
+	register(&command{name: "CORE.N", minArgs: 1, maxArgs: 1, family: famRead, fn: cmdN})
+	register(&command{name: "CORE.CHECK", minArgs: 1, maxArgs: 1, family: famAdmin, fn: cmdCheck})
+	register(&command{name: "CORE.STATS", minArgs: 1, maxArgs: 1, family: famAdmin, fn: cmdStats})
+	register(&command{name: "CORE.BGSAVE", minArgs: 1, maxArgs: 1, family: famAdmin, fn: cmdBGSave})
+	register(&command{name: "CORE.LASTSAVE", minArgs: 1, maxArgs: 1, family: famAdmin, fn: cmdLastSave})
+	register(&command{name: "CORE.SLOWLOG", minArgs: 2, maxArgs: 3, family: famAdmin, noSlowlog: true, fn: cmdSlowlog})
+	register(&command{name: "CORE.SYNC", minArgs: 1, maxArgs: 1, family: famAdmin, blocking: true, fn: cmdSync})
+	register(&command{name: "CORE.WAIT", minArgs: 2, maxArgs: 3, family: famAdmin, blocking: true, fn: cmdWait})
 }
 
 func cmdPing(c *conn, args [][]byte) bool {
@@ -123,6 +143,9 @@ func cmdInsert(c *conn, args [][]byte) bool {
 		return false
 	}
 	c.pending = append(c.pending, owed{pd: c.srv.mnt().InsertEdgesAsync(edges), edges: edges})
+	if m := c.srv.metrics; m != nil {
+		m.inflightWrites.Add(1)
+	}
 	return false
 }
 
@@ -134,6 +157,9 @@ func cmdRemove(c *conn, args [][]byte) bool {
 		return false
 	}
 	c.pending = append(c.pending, owed{pd: c.srv.mnt().RemoveEdgesAsync(edges), edges: edges})
+	if m := c.srv.metrics; m != nil {
+		m.inflightWrites.Add(1)
+	}
 	return false
 }
 
@@ -260,6 +286,48 @@ func cmdCheck(c *conn, args [][]byte) bool {
 	return false
 }
 
+// cmdSlowlog serves CORE.SLOWLOG GET [n] | RESET | LEN over the server's
+// slow-command ring (Redis's SLOWLOG shape): GET replies newest-first
+// with [id, unix, duration_us, cmd, detail] per entry (default 10, n<=0
+// for all), RESET clears the ring, LEN reports its current size.
+func cmdSlowlog(c *conn, args [][]byte) bool {
+	m := c.srv.metrics
+	if m == nil {
+		c.writeError("ERR slowlog not available")
+		return false
+	}
+	switch string(asciiUpper(args[1])) {
+	case "GET":
+		limit := int64(10)
+		if len(args) == 3 {
+			n, ok := parseInt(args[2])
+			if !ok {
+				c.writeErrArg("invalid entry count", args[2])
+				return false
+			}
+			limit = n
+		}
+		entries := m.slow.Snapshot(int(limit))
+		c.wr.WriteArrayHeader(len(entries))
+		for _, e := range entries {
+			c.wr.WriteArrayHeader(5)
+			c.wr.WriteInt(e.ID)
+			c.wr.WriteInt(e.Unix)
+			c.wr.WriteInt(e.Dur.Microseconds())
+			c.wr.WriteBulkString(e.Cmd)
+			c.wr.WriteBulkString(e.Detail)
+		}
+	case "RESET":
+		m.slow.Reset()
+		c.wr.WriteOK()
+	case "LEN":
+		c.wr.WriteInt(int64(m.slow.Len()))
+	default:
+		c.writeErrArg("unknown CORE.SLOWLOG subcommand", args[1])
+	}
+	return false
+}
+
 // cmdStats serves CORE.STATS: a flat key/value array (CONFIG GET style)
 // of the server's network counters followed by the maintainer's serving
 // counters, so one round trip captures the whole stack's health.
@@ -270,9 +338,12 @@ func cmdStats(c *conn, args [][]byte) bool {
 	if c.srv.replica != nil {
 		role = "replica"
 	}
+	alg := c.srv.mnt().Algorithm().String()
 	kv := [][2]string{
 		{"role", role},
-		{"alg", c.srv.mnt().Algorithm().String()},
+		{"version", Version},
+		{"alg", alg},
+		{"engine", alg}, // alias of alg, matching the metric label name
 		{"workers", itoa(int64(c.srv.mnt().Workers()))},
 		{"n", itoa(int64(c.srv.mnt().N()))},
 		{"epoch", itoa(int64(ms.Epoch))},
@@ -300,6 +371,22 @@ func cmdStats(c *conn, args [][]byte) bool {
 		{"grow_publishes", itoa(ms.GrowPublishes)},
 		{"dirty_pages", itoa(ms.DirtyPages)},
 	}
+	if m := c.srv.metrics; m != nil {
+		kv = append(kv,
+			[2]string{"uptime_sec", itoa(int64(time.Since(m.start).Seconds()))},
+			[2]string{"inflight_writes", itoa(m.inflightWrites.Load())},
+			[2]string{"slowlog_len", itoa(int64(m.slow.Len()))},
+			[2]string{"slow_total", itoa(m.slow.Total())},
+		)
+		for f := famRead; f < numFamilies; f++ {
+			name := familyNames[f]
+			kv = append(kv,
+				[2]string{"cmds_" + name, itoa(m.famCount[f].Value())},
+				[2]string{name + "_p50_ms", ftoa(m.famLat[f].Quantile(0.5) * 1000)},
+				[2]string{name + "_p99_ms", ftoa(m.famLat[f].Quantile(0.99) * 1000)},
+			)
+		}
+	}
 	if p := c.srv.persist; p != nil {
 		ps := p.Stats()
 		var lastSave int64
@@ -316,6 +403,8 @@ func cmdStats(c *conn, args [][]byte) bool {
 			[2]string{"persist_last_save", itoa(lastSave)},
 			[2]string{"persist_last_save_ms", itoa(ps.LastSaveDuration.Milliseconds())},
 			[2]string{"persist_err", ps.Err},
+			[2]string{"fsync_p50_ms", ftoa(p.FsyncQuantile(0.5) * 1000)},
+			[2]string{"fsync_p99_ms", ftoa(p.FsyncQuantile(0.99) * 1000)},
 			[2]string{"sync_followers", itoa(int64(ps.SyncFollowers))},
 			[2]string{"sync_dropped", itoa(ps.SyncDropped)},
 		)
@@ -336,6 +425,8 @@ func cmdStats(c *conn, args [][]byte) bool {
 			[2]string{"replica_records", itoa(rep.records.Load())},
 			[2]string{"replica_edges", itoa(rep.edges.Load())},
 			[2]string{"applied_epoch", itoa(int64(rep.wm.Epoch()))},
+			[2]string{"leader_epoch", itoa(int64(rep.leaderEpoch.Load()))},
+			[2]string{"epoch_lag", itoa(rep.epochLag())},
 			[2]string{"replica_last_err", lastErr},
 		)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
 	"repro/graph"
 	"repro/kcore"
@@ -40,6 +41,16 @@ type conn struct {
 	cmd     resp.Command
 	pending []owed
 	cycle   int64 // commands since the last reply flush (pipelining depth)
+
+	// Burst-grained instrumentation scratch (see serverMetrics): one
+	// clock read when a burst starts, per-family command counts flushed
+	// to the shared counters when it ends, and the nanoseconds already
+	// attributed to individually timed commands and write drains within
+	// the burst — subtracted so the read-family burst mean covers only
+	// untimed dispatch work.
+	burstStart time.Time
+	famN       [numFamilies]uint32
+	timedNs    int64
 
 	// Recycled scratch. edgeFree holds edge buffers whose futures have
 	// settled — a buffer lent to the maintainer's pipeline is retained by
@@ -106,7 +117,7 @@ func (c *conn) serve() {
 			return
 		}
 		if quit := c.handle(c.cmd.Args); quit {
-			c.drainPending()
+			c.endCycle()
 			c.wr.Flush()
 			return
 		}
@@ -124,7 +135,12 @@ func (c *conn) serve() {
 // handle runs one decoded command: the shared core of both modes.
 func (c *conn) handle(args [][]byte) (quit bool) {
 	c.srv.stats.commands.Add(1)
-	c.cycle++
+	if c.cycle++; c.cycle == 1 && c.srv.metrics != nil {
+		// One clock read per pipelined burst — the whole cost the
+		// zero-allocation read path pays for latency observation.
+		c.burstStart = time.Now()
+		c.timedNs = 0
+	}
 	if quit := c.dispatch(args); quit {
 		return true
 	}
@@ -135,17 +151,52 @@ func (c *conn) handle(args [][]byte) (quit bool) {
 }
 
 // endCycle settles deferred write replies and records the observed
-// pipelining depth; called when a pipelined burst ends.
+// pipelining depth; called when a pipelined burst ends. Family counts
+// and the read-latency burst mean flush first, so the final write drain
+// is not charged to the reads.
 func (c *conn) endCycle() {
+	c.flushObs()
 	c.drainPending()
 	c.srv.stats.pipeDepth.RecordValue(float64(c.cycle))
 	c.cycle = 0
+}
+
+// flushObs flushes the burst's per-family command counts to the shared
+// counters and records the read-family latency as the burst mean: the
+// burst's untimed wall time (individually timed commands and write
+// drains already subtracted via timedNs) divided by its command count,
+// observed once per read command (ObserveN). Everything here is atomic
+// adds — no allocation, no locks.
+func (c *conn) flushObs() {
+	m := c.srv.metrics
+	if m == nil {
+		c.famN = [numFamilies]uint32{}
+		return
+	}
+	nRead := int64(c.famN[famRead])
+	var total int64
+	for f := range c.famN {
+		if n := int64(c.famN[f]); n != 0 {
+			m.famCount[f].Add(n)
+			total += n
+		}
+	}
+	c.famN = [numFamilies]uint32{}
+	if nRead > 0 && !c.burstStart.IsZero() {
+		per := (time.Since(c.burstStart).Nanoseconds() - c.timedNs) / total
+		if per < 0 {
+			per = 0 // clock skew vs timed sections; clamp
+		}
+		m.famLat[famRead].ObserveN(per, nRead)
+	}
+	c.burstStart = time.Time{}
 }
 
 // readFailed finishes the connection after a failed read: owed replies
 // are still settled and flushed, a protocol error gets an error reply,
 // and a clean shutdown (EOF, or the Shutdown nudge) stays quiet.
 func (c *conn) readFailed(err error) {
+	c.flushObs()
 	c.drainPending()
 	var pe *resp.ProtocolError
 	switch {
@@ -179,6 +230,7 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 		c.writeErrArg("unknown command", args[0])
 		return false
 	}
+	c.famN[cmd.family]++ // flushed to the shared counters at burst end
 	if len(args) < cmd.minArgs || (cmd.maxArgs >= 0 && len(args) > cmd.maxArgs) {
 		c.writeErrParts("wrong number of arguments for '", []byte(cmd.name), "'")
 		return false
@@ -208,6 +260,22 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 		}
 		return false
 	}
+	if cmd.timed {
+		// Aggregate and admin commands are rare and heavy enough to time
+		// individually (and are the slowlog's primary inhabitants); their
+		// wall time is subtracted from the burst mean via timedNs.
+		if m := c.srv.metrics; m != nil {
+			t0 := time.Now()
+			quit = cmd.fn(c, args)
+			el := time.Since(t0)
+			c.timedNs += el.Nanoseconds()
+			m.famLat[cmd.family].Observe(el.Nanoseconds())
+			if !cmd.noSlowlog && m.slow.Eligible(el) {
+				m.slow.Add(cmd.name, "", el)
+			}
+			return quit
+		}
+	}
 	return cmd.fn(c, args)
 }
 
@@ -217,6 +285,15 @@ func (c *conn) dispatch(args [][]byte) (quit bool) {
 // the in-process BatchResult contract). The edge buffer lent to the
 // pipeline is recycled here — only after Wait proves the batch applied.
 func (c *conn) drainPending() {
+	k := len(c.pending)
+	if k == 0 {
+		return
+	}
+	m := c.srv.metrics
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
 	for i := range c.pending {
 		res := c.pending[i].pd.Wait()
 		c.wr.WriteInt(int64(res.Applied))
@@ -226,6 +303,20 @@ func (c *conn) drainPending() {
 		c.pending[i] = owed{}
 	}
 	c.pending = c.pending[:0]
+	if m != nil {
+		// Every write in the drain waited ≈ the whole drain (futures of
+		// one burst settle on the same coalesced batches), so the drain's
+		// wall time is each write's observed latency: one weighted
+		// observation instead of k clock reads.
+		el := time.Since(t0)
+		ns := el.Nanoseconds()
+		m.famLat[famWrite].ObserveN(ns, int64(k))
+		m.inflightWrites.Add(-int64(k))
+		c.timedNs += ns
+		if m.slow.Eligible(el) {
+			m.slow.Add("CORE.INSERT|REMOVE", "pipelined write drain", el)
+		}
+	}
 }
 
 const (

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/obs"
+)
+
+// Version is the server's reported version (CORE.STATS "version",
+// kcored_info{version=...}).
+const Version = "0.10.0"
+
+// cmdFamily buckets the command table for instrumentation: per-family
+// counters and latency histograms, so the hot read path pays one
+// array-indexed increment instead of a per-command-name series lookup.
+type cmdFamily uint8
+
+const (
+	famRead      cmdFamily = iota // snapshot reads: PING, CORE.GET/MGET/EPOCH/N/MAXCORE
+	famWrite                      // pipeline writes: CORE.INSERT/REMOVE
+	famAggregate                  // O(range)/barrier reads: CORE.HIST/KVERT/DEGENERACY
+	famAdmin                      // everything else (stats, persistence, sync, slowlog)
+	numFamilies
+)
+
+var familyNames = [numFamilies]string{"read", "write", "aggregate", "admin"}
+
+// serverMetrics is the server's instrumentation: per-family command
+// counters and latency histograms, the slow-command ring, and the
+// in-flight write gauge. It is built unconditionally in New — handlers
+// nil-check it only so benchmarks can measure the uninstrumented path by
+// clearing the field.
+//
+// Latency semantics per family (documented in the histogram help):
+// reads are recorded as the pipelined-burst mean (one clock read per
+// burst, weighted ObserveN at flush — the zero-allocation contract
+// forbids per-command timing on the read path); writes are recorded as
+// the drain wait their pipelined burst observed (every write in a drain
+// waited approximately the whole drain: replies settle together);
+// aggregate and admin commands are individually timed in dispatch.
+type serverMetrics struct {
+	start          time.Time
+	famCount       [numFamilies]*obs.Counter
+	famLat         [numFamilies]*obs.Histogram
+	inflightWrites atomic.Int64 // write futures submitted, not yet drained
+	slow           *obs.SlowLog
+}
+
+func newServerMetrics(slowThreshold time.Duration, slowSize int) *serverMetrics {
+	m := &serverMetrics{
+		start: time.Now(),
+		slow:  obs.NewSlowLog(slowSize, slowThreshold),
+	}
+	const latHelp = "Command latency: reads as pipelined-burst mean, writes as pipeline drain wait, aggregate/admin individually timed."
+	for f := famRead; f < numFamilies; f++ {
+		m.famCount[f] = obs.NewCounter("kcored_commands_total",
+			"Commands dispatched, by family.", obs.L("family", familyNames[f]))
+		m.famLat[f] = obs.NewDurationHistogram("kcored_command_latency_seconds",
+			latHelp, obs.L("family", familyNames[f]))
+	}
+	return m
+}
+
+// WithSlowlog configures the slow-command log: commands (and pipelined
+// write drains) taking at least threshold land in a fixed ring of size
+// entries, served by CORE.SLOWLOG. threshold 0 records everything;
+// negative disables recording (the ring still answers CORE.SLOWLOG).
+// Default: 10ms threshold, 128 entries.
+func WithSlowlog(threshold time.Duration, size int) Option {
+	return func(s *Server) {
+		s.slowThreshold = threshold
+		if size > 0 {
+			s.slowSize = size
+		}
+	}
+}
+
+// RegisterMetrics adds the server's whole metric surface to reg: the
+// command-family instruments, scrape-time views of the network counters,
+// the maintainer's serving counters and pipeline stage histograms, and —
+// when configured — the persistence and replication subsystems. Call
+// once, after New (and after NewReplica on a follower), before serving
+// the registry.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	m := s.metrics
+	for f := famRead; f < numFamilies; f++ {
+		reg.MustRegister(m.famCount[f], m.famLat[f])
+	}
+
+	role := "leader"
+	if s.replica != nil {
+		role = "replica"
+	}
+	info := obs.NewGauge("kcored_info", "Build and topology info; the value is always 1.",
+		obs.L("version", Version),
+		obs.L("engine", s.mnt().Algorithm().String()),
+		obs.L("role", role))
+	info.Set(1)
+
+	reg.MustRegister(
+		info,
+		obs.NewGaugeFunc("kcored_uptime_seconds", "Seconds since the server was created.",
+			func() float64 { return time.Since(m.start).Seconds() }),
+		obs.NewCounterFunc("kcored_connections_total", "Connections ever accepted.",
+			func() float64 { return float64(s.stats.connsTotal.Load()) }),
+		obs.NewGaugeFunc("kcored_connections_active", "Connections currently open.",
+			func() float64 { return float64(s.stats.connsActive.Load()) }),
+		obs.NewCounterSeriesFunc("kcored_errors_total", "Error replies written and connections dropped on malformed frames.",
+			func() []obs.Sample {
+				return []obs.Sample{
+					{Labels: []obs.Label{obs.L("kind", "reply")}, Value: float64(s.stats.errorsSent.Load())},
+					{Labels: []obs.Label{obs.L("kind", "protocol")}, Value: float64(s.stats.protoErrors.Load())},
+				}
+			}),
+		obs.NewGaugeFunc("kcored_inflight_writes", "Write futures submitted to the pipeline, reply not yet settled.",
+			func() float64 { return float64(m.inflightWrites.Load()) }),
+		obs.NewCounterFunc("kcored_slow_commands_total", "Commands at or over the slowlog threshold (survives CORE.SLOWLOG RESET).",
+			func() float64 { return float64(m.slow.Total()) }),
+		obs.NewGaugeFunc("kcored_slowlog_entries", "Entries currently held in the slowlog ring.",
+			func() float64 { return float64(m.slow.Len()) }),
+	)
+
+	// Maintainer-side views load s.mnt() at scrape time: a replica swaps
+	// its maintainer on every re-bootstrap, and the scrape should follow.
+	reg.MustRegister(
+		obs.NewGaugeFunc("kcored_epoch", "Latest published snapshot epoch.",
+			func() float64 { return float64(s.mnt().Epoch()) }),
+		obs.NewGaugeFunc("kcored_vertices", "Vertex universe size N.",
+			func() float64 { return float64(s.mnt().N()) }),
+		obs.NewGaugeFunc("kcored_queue_depth", "Update-pipeline ops enqueued and not yet applied.",
+			func() float64 { return float64(s.mnt().ServingStats().QueueDepth) }),
+		obs.NewCounterSeriesFunc("kcored_pipeline_ops_total", "Update-pipeline ops by outcome: enqueued, batched into an engine round, canceled by coalescing.",
+			func() []obs.Sample {
+				ms := s.mnt().ServingStats()
+				return []obs.Sample{
+					{Labels: []obs.Label{obs.L("kind", "enqueued")}, Value: float64(ms.Enqueued)},
+					{Labels: []obs.Label{obs.L("kind", "batched")}, Value: float64(ms.BatchedOps)},
+					{Labels: []obs.Label{obs.L("kind", "canceled")}, Value: float64(ms.CanceledOps)},
+				}
+			}),
+		obs.NewCounterFunc("kcored_batches_total", "Coalesced engine batches applied.",
+			func() float64 { return float64(s.mnt().ServingStats().Batches) }),
+		obs.NewCounterFunc("kcored_flushes_total", "Pipeline barriers (CORE.FLUSH and internal quiescent points).",
+			func() float64 { return float64(s.mnt().ServingStats().Flushes) }),
+		obs.NewCounterSeriesFunc("kcored_publishes_total", "Snapshot publications by kind.",
+			func() []obs.Sample {
+				ms := s.mnt().ServingStats()
+				return []obs.Sample{
+					{Labels: []obs.Label{obs.L("kind", "full")}, Value: float64(ms.FullPublishes)},
+					{Labels: []obs.Label{obs.L("kind", "delta")}, Value: float64(ms.DeltaPublishes)},
+					{Labels: []obs.Label{obs.L("kind", "unchanged")}, Value: float64(ms.UnchangedPublishes)},
+					{Labels: []obs.Label{obs.L("kind", "grow")}, Value: float64(ms.GrowPublishes)},
+				}
+			}),
+		obs.NewCounterFunc("kcored_dirty_pages_total", "Snapshot pages rewritten by delta publication.",
+			func() float64 { return float64(s.mnt().ServingStats().DirtyPages) }),
+	)
+
+	// Pipeline stage histograms: on a leader the maintainer is fixed, so
+	// its (possibly private) instance is the cumulative one; on a replica
+	// the Replica owns the instance and threads it through every
+	// re-bootstrapped maintainer.
+	if r := s.replica; r != nil {
+		r.pm.Register(reg)
+		r.registerMetrics(reg)
+	} else {
+		s.mnt().PipelineMetrics().Register(reg)
+	}
+	if p := s.persist; p != nil {
+		p.RegisterMetrics(reg)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/graph"
 	"repro/kcore"
+	"repro/obs"
 	"repro/persist"
 	"repro/resp"
 )
@@ -55,6 +56,17 @@ type Replica struct {
 	records   atomic.Int64 // stream records applied (incl. epochs/pings)
 	edges     atomic.Int64 // edges applied through insert/remove records
 	lastErr   atomic.Pointer[string]
+
+	// leaderEpoch is the newest leader epoch seen on the wire (FULLSYNC
+	// handshake, then every epoch/ping marker), stored before the record
+	// applies — so leaderEpoch−wm.Epoch() exposes the apply backlog,
+	// most visibly during a bootstrap's snapshot rebuild.
+	leaderEpoch atomic.Uint64
+
+	// pm holds the pipeline stage histograms across maintainer
+	// re-bootstraps: every syncOnce builds a fresh maintainer, but the
+	// operator wants one cumulative latency history per replica.
+	pm *kcore.PipelineMetrics
 }
 
 // NewReplica puts srv into follower mode, replicating from the leader at
@@ -67,6 +79,7 @@ func NewReplica(srv *Server, leaderAddr string, opts ReplicaOptions) *Replica {
 		opts:   opts,
 		wm:     kcore.NewEpochWatermark(),
 		quit:   make(chan struct{}),
+		pm:     kcore.NewPipelineMetrics(opts.Alg.String()),
 	}
 	srv.replica = r
 	return r
@@ -189,7 +202,10 @@ func (r *Replica) syncOnce() error {
 	}
 	snap = nil
 
+	r.leaderEpoch.Store(epoch)
+
 	var kopts []kcore.Option
+	kopts = append(kopts, kcore.WithPipelineMetrics(r.pm))
 	if r.opts.Alg != 0 {
 		kopts = append(kopts, kcore.WithAlgorithm(r.opts.Alg))
 	}
@@ -242,10 +258,48 @@ func (r *Replica) syncOnce() error {
 				m.AddVertices(rec.N - m.N())
 			}
 		case persist.OpEpoch, persist.OpPing:
+			r.leaderEpoch.Store(rec.Epoch)
 			r.wm.Advance(rec.Epoch)
 		}
 		r.records.Add(1)
 	}
+}
+
+// epochLag is the leader-vs-applied epoch delta (clamped at 0: a
+// bootstrap Reset can briefly put the watermark ahead of the last
+// stored leader marker).
+func (r *Replica) epochLag() int64 {
+	lag := int64(r.leaderEpoch.Load()) - int64(r.wm.Epoch())
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// registerMetrics adds the replication-side metrics to reg (called from
+// Server.RegisterMetrics on a follower).
+func (r *Replica) registerMetrics(reg *obs.Registry) {
+	reg.MustRegister(
+		obs.NewGaugeFunc("kcored_replica_connected", "1 while a replication session is streaming, else 0.",
+			func() float64 {
+				if r.connected.Load() {
+					return 1
+				}
+				return 0
+			}),
+		obs.NewCounterFunc("kcored_replica_syncs_total", "Completed FULLSYNC bootstraps.",
+			func() float64 { return float64(r.syncs.Load()) }),
+		obs.NewCounterFunc("kcored_replica_records_total", "Op-stream records applied (epochs and pings included).",
+			func() float64 { return float64(r.records.Load()) }),
+		obs.NewCounterFunc("kcored_replica_edges_total", "Edges applied through streamed insert/remove records.",
+			func() float64 { return float64(r.edges.Load()) }),
+		obs.NewGaugeFunc("kcored_replica_applied_epoch", "Epoch watermark of locally applied state (what CORE.WAIT blocks on).",
+			func() float64 { return float64(r.wm.Epoch()) }),
+		obs.NewGaugeFunc("kcored_replica_leader_epoch", "Newest leader epoch seen on the replication stream.",
+			func() float64 { return float64(r.leaderEpoch.Load()) }),
+		obs.NewGaugeFunc("kcored_replica_epoch_lag", "Leader-vs-applied epoch delta (apply backlog).",
+			func() float64 { return float64(r.epochLag()) }),
+	)
 }
 
 func (r *Replica) logf(format string, args ...any) {

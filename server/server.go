@@ -96,6 +96,13 @@ type Server struct {
 	sg       *shardGroup
 
 	stats serveCounters
+
+	// metrics is built unconditionally by New (slowThreshold/slowSize are
+	// its WithSlowlog inputs); handlers nil-check it only so benchmarks
+	// can clear it to measure the uninstrumented hot path.
+	metrics       *serverMetrics
+	slowThreshold time.Duration
+	slowSize      int
 }
 
 // serveCounters is the server-side half of ServeStats, updated by the
@@ -131,15 +138,18 @@ type ServeStats struct {
 // the server does not close the maintainer.
 func New(m *kcore.Maintainer, opts ...Option) *Server {
 	s := &Server{
-		maxPipeline: defaultMaxPipeline,
-		connShards:  defaultConnShards(),
-		conns:       make(map[*conn]struct{}),
-		closeCh:     make(chan struct{}),
+		maxPipeline:   defaultMaxPipeline,
+		connShards:    defaultConnShards(),
+		conns:         make(map[*conn]struct{}),
+		closeCh:       make(chan struct{}),
+		slowThreshold: 10 * time.Millisecond,
+		slowSize:      128,
 	}
 	s.m.Store(m)
 	for _, o := range opts {
 		o(s)
 	}
+	s.metrics = newServerMetrics(s.slowThreshold, s.slowSize)
 	return s
 }
 

@@ -374,7 +374,7 @@ func (sh *connShard) parseAndDispatch(c *conn) (closed bool) {
 			return true
 		}
 		if quit := c.handle(c.cmd.Args); quit {
-			c.drainPending()
+			c.endCycle()
 			c.wr.Flush()
 			sh.closeConn(c)
 			return true
@@ -568,7 +568,7 @@ func (sh *connShard) detach(c *conn) {
 			}
 		}
 		if quit := cmd.fn(c, args); quit {
-			c.drainPending()
+			c.endCycle()
 			c.wr.Flush()
 			return
 		}
@@ -629,7 +629,11 @@ func (sh *connShard) finish() {
 		if closed := sh.parseAndDispatch(c); closed {
 			continue
 		}
-		c.drainPending()
+		if c.cycle > 0 {
+			c.endCycle()
+		} else {
+			c.drainPending()
+		}
 		c.wr.Flush()
 		// Final flush of any back-pressured bytes, blocking: the worker is
 		// exiting, there will be no EPOLLOUT to finish the job later.
